@@ -1,0 +1,401 @@
+// Benchmark harness regenerating the paper's tables and figures (see
+// DESIGN.md §4 for the experiment index and EXPERIMENTS.md for recorded
+// results). The paper is theoretical: its "figures" are example
+// separations and classification tables (regenerated and asserted here and
+// in cmd/benchtab) and its "tables" are complexity claims (reproduced as
+// scaling benchmarks whose shapes — polynomial data complexity, exponential
+// witness search — are the paper's predictions).
+package topodb
+
+import (
+	"fmt"
+	"testing"
+
+	"topodb/internal/arrange"
+	"topodb/internal/fary"
+	"topodb/internal/folang"
+	"topodb/internal/fourint"
+	"topodb/internal/geom"
+	"topodb/internal/infer"
+	"topodb/internal/invariant"
+	"topodb/internal/pointlang"
+	"topodb/internal/reldb"
+	"topodb/internal/spatial"
+	"topodb/internal/thematic"
+	"topodb/internal/workload"
+)
+
+// ---- F1: Fig 1 — the separations that motivate the paper ----
+
+func BenchmarkFig1Separations(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fi, err := fourint.EquivalentInstances(spatial.Fig1a(), spatial.Fig1b())
+		if err != nil || !fi {
+			b.Fatal("Fig1a/1b must be 4-intersection equivalent")
+		}
+		t1, _ := invariant.New(spatial.Fig1a())
+		t2, _ := invariant.New(spatial.Fig1b())
+		if invariant.Equivalent(t1, t2) {
+			b.Fatal("Fig1a/1b must not be H-equivalent")
+		}
+	}
+}
+
+// ---- F2: Fig 2 — classifying all eight relations ----
+
+func BenchmarkFig2Classification(b *testing.B) {
+	in := spatial.Fig1b()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fourint.AllPairs(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- T3.4/T3.5: invariant computation scales polynomially ----
+
+func benchInvariant(b *testing.B, in *spatial.Instance) {
+	b.Helper()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := invariant.New(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInvariantScalingGrid(b *testing.B) {
+	for _, n := range []int{2, 4, 6, 8} {
+		b.Run(fmt.Sprintf("n=%d_regions=%d", n, n*n), func(b *testing.B) {
+			benchInvariant(b, workload.RectGrid(n))
+		})
+	}
+}
+
+func BenchmarkInvariantScalingChain(b *testing.B) {
+	for _, n := range []int{4, 8, 16, 32} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchInvariant(b, workload.OverlapChain(n))
+		})
+	}
+}
+
+func BenchmarkInvariantScalingLens(b *testing.B) {
+	for _, n := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchInvariant(b, workload.LensStack(n))
+		})
+	}
+}
+
+func BenchmarkInvariantScalingNested(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchInvariant(b, workload.NestedRings(n))
+		})
+	}
+}
+
+// ---- C3.7: querying the thematic instance vs recomputing geometry ----
+
+func BenchmarkThematicVsDirect(b *testing.B) {
+	in := workload.CountyMesh(3)
+	// The query: some face inside two named mesh cells (false — they are
+	// adjacent, not overlapping) plus one containment probe.
+	q := reldb.Exists{Var: "f", F: reldb.And{Fs: []reldb.Formula{
+		reldb.Atom{Rel: "RegionFaces", Terms: []reldb.Term{reldb.C("Cty_0_0"), reldb.V("f")}},
+		reldb.Atom{Rel: "RegionFaces", Terms: []reldb.Term{reldb.C("Cty_1_1"), reldb.V("f")}},
+	}}}
+	b.Run("direct_geometry_each_time", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db, err := thematic.FromInstance(in) // rebuild + query
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ok, err := reldb.Eval(db, q); err != nil || ok {
+				b.Fatal(ok, err)
+			}
+		}
+	})
+	b.Run("on_precomputed_thematic", func(b *testing.B) {
+		db, err := thematic.FromInstance(in)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ok, err := reldb.Eval(db, q); err != nil || ok {
+				b.Fatal(ok, err)
+			}
+		}
+	})
+}
+
+// ---- T3.8: validating invariants ----
+
+func BenchmarkValidateScaling(b *testing.B) {
+	for _, n := range []int{2, 3, 4} {
+		b.Run(fmt.Sprintf("mesh=%dx%d", n, n), func(b *testing.B) {
+			db, err := thematic.FromInstance(workload.CountyMesh(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := thematic.Validate(db); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- T3.5b: polygonal representative round trip ----
+
+func BenchmarkFaryRoundTrip(b *testing.B) {
+	in := workload.CirclePair(24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		poly, err := fary.Polygonalize(in, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		t1, _ := invariant.New(in)
+		t2, _ := invariant.New(poly)
+		if !invariant.Equivalent(t1, t2) {
+			b.Fatal("round trip lost the invariant")
+		}
+	}
+}
+
+// ---- T5.2/T5.6: equivalence-class decision (the effective normal form) ----
+
+func BenchmarkEquivalenceDecision(b *testing.B) {
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			t1, err := invariant.New(workload.OverlapChain(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			t2, err := invariant.New(workload.OverlapChain(n))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if !invariant.Equivalent(t1, t2) {
+					b.Fatal("identical instances must be equivalent")
+				}
+			}
+		})
+	}
+}
+
+// ---- P6.2/C6.3: Σ1 satisfiability (NP-hard — exponential search) ----
+
+func BenchmarkSigma1Satisfiability(b *testing.B) {
+	for _, n := range []int{4, 6, 8} {
+		b.Run(fmt.Sprintf("vars=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				nw := infer.NewNetwork(n)
+				for j := 0; j+1 < n; j++ {
+					nw.Constrain(j, j+1, infer.S(fourint.Meet, fourint.Overlap))
+				}
+				nw.Constrain(0, n-1, infer.S(fourint.Disjoint))
+				if nw.Solve() == nil {
+					b.Fatal("chain network should be satisfiable")
+				}
+			}
+		})
+	}
+}
+
+// ---- T6.4: FO(Rect, ·) data complexity is polynomial ----
+
+func BenchmarkRectDataComplexity(b *testing.B) {
+	// Fixed query, growing data.
+	const q = "some cell r: subset(r, C000) and subset(r, C001)"
+	for _, n := range []int{4, 8, 16} {
+		b.Run(fmt.Sprintf("chain=%d", n), func(b *testing.B) {
+			in := workload.OverlapChain(n)
+			u, err := folang.NewUniverse(in, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev := folang.NewEvaluator(u)
+			f := folang.MustParse(q)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ok, err := ev.Eval(f); err != nil || !ok {
+					b.Fatal(ok, err)
+				}
+			}
+		})
+	}
+}
+
+// ---- T6.5: query complexity grows with quantifier nesting ----
+
+func BenchmarkRectQueryComplexity(b *testing.B) {
+	in := workload.OverlapChain(6)
+	u, err := folang.NewUniverse(in, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	queries := map[string]string{
+		"depth1": "some cell x: subset(x, C000)",
+		"depth2": "some cell x: some cell y: subset(x, C000) and connect(x, y)",
+		"depth3": "some cell x: some cell y: all cell z: (subset(x, C000) and connect(x, y)) and (connect(z, z) or connect(z, x))",
+	}
+	for name, q := range queries {
+		f := folang.MustParse(q)
+		b.Run(name, func(b *testing.B) {
+			ev := folang.NewEvaluator(u)
+			for i := 0; i < b.N; i++ {
+				if _, err := ev.Eval(f); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// ---- §7: the tractable cell language scales polynomially in data ----
+
+func BenchmarkCellLangScaling(b *testing.B) {
+	const q = `all cell x: all cell y:
+	  ((subset(x, A) and subset(x, B)) and (subset(y, A) and subset(y, B)))
+	  implies (some region r: ((subset(r, A) and subset(r, B)) and (connect(r, x) and connect(r, y))))`
+	for _, k := range []int{0, 2, 4} {
+		b.Run(fmt.Sprintf("refine=%d", k), func(b *testing.B) {
+			u, err := folang.NewUniverse(spatial.Fig1c(), k)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ev := folang.NewEvaluator(u)
+			f := folang.MustParse(q)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if ok, err := ev.Eval(f); err != nil || !ok {
+					b.Fatal(ok, err)
+				}
+			}
+		})
+	}
+}
+
+// ---- T5.8: point language evaluation ----
+
+func BenchmarkPointLanguage(b *testing.B) {
+	in := spatial.Fig1b()
+	ev := pointlang.NewEvaluator(in)
+	f := pointlang.Exists{Var: "p", F: pointlang.And{
+		L: pointlang.In{A: "A", P: "p"},
+		R: pointlang.And{L: pointlang.In{A: "B", P: "p"}, R: pointlang.In{A: "C", P: "p"}},
+	}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if ok, err := ev.Eval(f); err != nil || ok {
+			b.Fatal(ok, err)
+		}
+	}
+}
+
+// ---- Ablation: exact rational predicates vs float64 ----
+
+func BenchmarkAblationPredicateExact(b *testing.B) {
+	s := geom.Seg{A: geom.P(0, 0), B: geom.P(1000, 37)}
+	u := geom.Seg{A: geom.P(0, 37), B: geom.P(1000, 0)}
+	for i := 0; i < b.N; i++ {
+		_ = geom.Intersect(s, u)
+	}
+}
+
+func BenchmarkAblationPredicateFloat(b *testing.B) {
+	// The float baseline this library deliberately avoids on decision
+	// paths: same intersection via float64 cross products.
+	type fp struct{ x, y float64 }
+	cross := func(a, b fp) float64 { return a.x*b.y - a.y*b.x }
+	sA, sB := fp{0, 0}, fp{1000, 37}
+	uA, uB := fp{0, 37}, fp{1000, 0}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d1 := fp{sB.x - sA.x, sB.y - sA.y}
+		d2 := fp{uB.x - uA.x, uB.y - uA.y}
+		den := cross(d1, d2)
+		if den != 0 {
+			diff := fp{uA.x - sA.x, uA.y - sA.y}
+			_ = cross(diff, d2) / den
+		}
+	}
+}
+
+// ---- Ablation: arrangement cost split (split vs faces vs labels) ----
+
+func BenchmarkAblationArrangementFull(b *testing.B) {
+	in := workload.LensStack(6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arrange.Build(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Ablation: canonical form cache (Equivalent twice vs fresh) ----
+
+func BenchmarkAblationCanonicalCache(b *testing.B) {
+	t1, err := invariant.New(workload.OverlapChain(12))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("cached", func(b *testing.B) {
+		_ = t1.Canonical() // warm
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = t1.Canonical()
+		}
+	})
+	b.Run("fresh", func(b *testing.B) {
+		in := workload.OverlapChain(12)
+		for i := 0; i < b.N; i++ {
+			t, err := invariant.New(in)
+			if err != nil {
+				b.Fatal(err)
+			}
+			_ = t.Canonical()
+		}
+	})
+}
+
+// ---- F14: the S-invariant (Theorem 6.1 / Fig 14) ----
+
+func BenchmarkSInvariant(b *testing.B) {
+	in := workload.RectGrid(3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := invariant.SInvariant(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- T5.2/Prop 5.1: generating and checking the class-defining sentence ----
+
+func BenchmarkSigmaTI(b *testing.B) {
+	u, err := folang.NewUniverse(spatial.Fig1c(), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sigma := folang.SigmaTI(u)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ev := folang.NewEvaluator(u)
+		ok, err := ev.Eval(sigma)
+		if err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+	}
+}

@@ -1,0 +1,98 @@
+// Command invariant computes and prints the topological invariant T_I of
+// a spatial instance, emits its thematic relational form, validates it,
+// and can test two instances for topological equivalence.
+//
+// Usage:
+//
+//	invariant -fixture fig1c                 # print T_I and thematic(I)
+//	invariant -in a.json -equiv b.json       # topological equivalence
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"topodb/internal/invariant"
+	"topodb/internal/spatial"
+	"topodb/internal/thematic"
+)
+
+func main() {
+	var (
+		inFile  = flag.String("in", "", "instance JSON file")
+		fixture = flag.String("fixture", "", "built-in fixture: fig1a..fig1d, O")
+		equiv   = flag.String("equiv", "", "second instance JSON: test equivalence")
+		quiet   = flag.Bool("quiet", false, "only print counts / verdicts")
+	)
+	flag.Parse()
+	in, err := load(*inFile, *fixture)
+	if err != nil {
+		fatal(err)
+	}
+	t, err := invariant.New(in)
+	if err != nil {
+		fatal(err)
+	}
+	v, e, f := t.Stats()
+	fmt.Printf("cells: %d vertices, %d edges, %d faces; connected=%v simple=%v\n",
+		v, e, f, t.Connected(), t.Simple())
+	if !*quiet {
+		fmt.Print(t.String())
+		db := thematic.FromInvariant(t)
+		fmt.Println("thematic(I):")
+		fmt.Print(thematic.Describe(db))
+		if err := thematic.Validate(db); err != nil {
+			fmt.Println("validate:", err)
+		} else {
+			fmt.Println("validate: ok (labeled planar graph conditions (1)-(7))")
+		}
+	}
+	if *equiv != "" {
+		other, err := load(*equiv, "")
+		if err != nil {
+			fatal(err)
+		}
+		t2, err := invariant.New(other)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("topologically equivalent: %v\n", invariant.Equivalent(t, t2))
+	}
+}
+
+func load(file, fixture string) (*spatial.Instance, error) {
+	switch fixture {
+	case "fig1a":
+		return spatial.Fig1a(), nil
+	case "fig1b":
+		return spatial.Fig1b(), nil
+	case "fig1c":
+		return spatial.Fig1c(), nil
+	case "fig1d":
+		return spatial.Fig1d(), nil
+	case "O":
+		return spatial.InterlockedO(), nil
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown fixture %q", fixture)
+	}
+	if file == "" {
+		return nil, fmt.Errorf("provide -in or -fixture")
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var in spatial.Instance
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, err
+	}
+	return &in, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "invariant:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,82 @@
+// Command topoquery loads a spatial instance from a JSON file and
+// evaluates region-based queries against it.
+//
+// Usage:
+//
+//	topoquery -in instance.json -q "some cell r: subset(r, A) and subset(r, B)" [-refine k]
+//	topoquery -fixture fig1c -q "overlap(A, B)"
+//
+// The JSON format is {"regions":[{"name":"A","ring":[["0","0"],["4","0"],...]}]}
+// with exact rational coordinates as strings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"topodb/internal/folang"
+	"topodb/internal/spatial"
+)
+
+func main() {
+	var (
+		inFile  = flag.String("in", "", "instance JSON file")
+		fixture = flag.String("fixture", "", "built-in fixture: fig1a, fig1b, fig1c, fig1d, O")
+		query   = flag.String("q", "", "query in the region-based language")
+		refine  = flag.Int("refine", 0, "scaffold grid refinement (k x k)")
+	)
+	flag.Parse()
+	in, err := loadInstance(*inFile, *fixture)
+	if err != nil {
+		fatal(err)
+	}
+	if *query == "" {
+		fatal(fmt.Errorf("missing -q query"))
+	}
+	u, err := folang.NewUniverse(in, *refine)
+	if err != nil {
+		fatal(err)
+	}
+	ok, err := folang.NewEvaluator(u).EvalQuery(*query)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s\n%v\n", u, ok)
+}
+
+func loadInstance(file, fixture string) (*spatial.Instance, error) {
+	switch fixture {
+	case "fig1a":
+		return spatial.Fig1a(), nil
+	case "fig1b":
+		return spatial.Fig1b(), nil
+	case "fig1c":
+		return spatial.Fig1c(), nil
+	case "fig1d":
+		return spatial.Fig1d(), nil
+	case "O":
+		return spatial.InterlockedO(), nil
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown fixture %q", fixture)
+	}
+	if file == "" {
+		return nil, fmt.Errorf("provide -in or -fixture")
+	}
+	data, err := os.ReadFile(file)
+	if err != nil {
+		return nil, err
+	}
+	var in spatial.Instance
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, err
+	}
+	return &in, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "topoquery:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,61 @@
+// Quickstart: build a small spatial database, classify region relations,
+// compute the topological invariant, and run region-based queries.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"topodb"
+)
+
+func main() {
+	db := topodb.NewInstance()
+	must(db.AddRect("Lake", 0, 0, 10, 8))
+	must(db.AddRect("Island", 3, 3, 5, 5))  // inside the lake
+	must(db.AddRect("Harbor", 8, 2, 14, 6)) // overlaps the lake shore
+	must(db.AddCircle("Buoy", 2, 2, 1, 12)) // a disc inside the lake
+
+	// 4-intersection relations (Egenhofer).
+	for _, pair := range [][2]string{{"Island", "Lake"}, {"Harbor", "Lake"}, {"Buoy", "Island"}} {
+		rel, err := db.Relate(pair[0], pair[1])
+		must(err)
+		fmt.Printf("%-7s vs %-7s: %v\n", pair[0], pair[1], rel)
+	}
+
+	// The topological invariant: a complete summary for topological queries.
+	inv, err := db.Invariant()
+	must(err)
+	v, e, f := inv.Stats()
+	fmt.Printf("invariant: %d vertices, %d edges, %d faces (connected=%v)\n",
+		v, e, f, inv.Connected())
+
+	// Region-based queries (the paper's FO(Region, Region') language).
+	queries := []string{
+		"inside(Island, Lake)",
+		"some cell r: subset(r, Lake) and subset(r, Harbor)",
+		"all name a: connect(a, a)",
+		"some name a: some name b: (not a = b) and inside(a, b)",
+	}
+	for _, q := range queries {
+		ok, err := db.Query(q)
+		must(err)
+		fmt.Printf("%-55s -> %v\n", q, ok)
+	}
+
+	// Topological equivalence: a stretched copy is homeomorphic.
+	db2 := topodb.NewInstance()
+	must(db2.AddRect("Lake", 0, 0, 100, 16))
+	must(db2.AddRect("Island", 30, 6, 50, 10))
+	must(db2.AddRect("Harbor", 80, 4, 140, 12))
+	must(db2.AddCircle("Buoy", 20, 4, 2, 12))
+	eq, err := topodb.Equivalent(db, db2)
+	must(err)
+	fmt.Printf("stretched copy topologically equivalent: %v\n", eq)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,182 @@
+package topodb
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"topodb/internal/folang"
+	"topodb/internal/fourint"
+	"topodb/internal/invariant"
+	"topodb/internal/rat"
+	"topodb/internal/region"
+	"topodb/internal/spatial"
+	"topodb/internal/thematic"
+	"topodb/internal/xform"
+)
+
+func randInstance(seed int64, n int) *spatial.Instance {
+	rng := rand.New(rand.NewSource(seed))
+	in := spatial.New()
+	for i := 0; i < n; i++ {
+		x := int64(rng.Intn(16))
+		y := int64(rng.Intn(16))
+		w := int64(rng.Intn(8) + 1)
+		h := int64(rng.Intn(8) + 1)
+		in.MustAdd(fmt.Sprintf("R%02d", i), region.MustRect(x, y, x+w, y+h))
+	}
+	return in
+}
+
+// End-to-end genericity: the invariant of every random instance is
+// unchanged by every homeomorphism in the standard map set, and so are all
+// 4-intersection relations.
+func TestIntegrationGenericityRandom(t *testing.T) {
+	maps := []xform.Map{
+		xform.Translation(31, -17),
+		xform.AxisScale(rat.FromInt(2), rat.FromInt(3)),
+		xform.Shear(rat.FromInt(1)),
+		xform.Rotate90(),
+		xform.Reflect(),
+	}
+	for seed := int64(0); seed < 12; seed++ {
+		in := randInstance(seed, 3+int(seed%3))
+		ti, err := invariant.New(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		rels, err := fourint.AllPairs(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range maps {
+			img, err := xform.Apply(m, in)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, m.Name, err)
+			}
+			tj, err := invariant.New(img)
+			if err != nil {
+				t.Fatalf("seed %d %s: %v", seed, m.Name, err)
+			}
+			if !invariant.Equivalent(ti, tj) {
+				t.Errorf("seed %d: invariant changed under %s", seed, m.Name)
+			}
+			rels2, err := fourint.AllPairs(img)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for k, r := range rels {
+				if rels2[k] != r {
+					t.Errorf("seed %d %s: relation %v changed %v -> %v", seed, m.Name, k, r, rels2[k])
+				}
+			}
+		}
+	}
+}
+
+// The geometric 4-intersection classification must agree with the
+// cell-set relation atoms of the query language on every random pair.
+func TestIntegrationFourintFolangAgree(t *testing.T) {
+	preds := map[fourint.Relation]string{
+		fourint.Disjoint:  "disjoint",
+		fourint.Meet:      "meet",
+		fourint.Equal:     "equal",
+		fourint.Overlap:   "overlap",
+		fourint.Inside:    "inside",
+		fourint.Contains:  "contains",
+		fourint.CoveredBy: "coveredby",
+		fourint.Covers:    "covers",
+	}
+	for seed := int64(20); seed < 32; seed++ {
+		in := randInstance(seed, 3)
+		u, err := folang.NewUniverse(in, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := folang.NewEvaluator(u)
+		rels, err := fourint.AllPairs(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		names := in.Names()
+		for i := range names {
+			for j := range names {
+				if i == j {
+					continue
+				}
+				want := rels[[2]string{names[i], names[j]}]
+				for rel, pred := range preds {
+					q := fmt.Sprintf("%s(%s, %s)", pred, names[i], names[j])
+					got, err := ev.EvalQuery(q)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got != (rel == want) {
+						t.Errorf("seed %d: %s = %v but geometric relation is %v",
+							seed, q, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Equivalent instances have isomorphic thematic databases (equal relation
+// cardinalities at minimum) and both validate.
+func TestIntegrationThematicConsistency(t *testing.T) {
+	for seed := int64(40); seed < 48; seed++ {
+		in := randInstance(seed, 4)
+		db, err := thematic.FromInstance(in)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := thematic.Validate(db); err != nil {
+			t.Errorf("seed %d: valid instance rejected: %v", seed, err)
+		}
+		// A scaled copy yields the same cardinalities.
+		img, err := xform.Apply(xform.AxisScale(rat.FromInt(3), rat.FromInt(2)), in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		db2, err := thematic.FromInstance(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range db.Names() {
+			if db2.Rel(name) == nil || db.Rel(name).Len() != db2.Rel(name).Len() {
+				t.Errorf("seed %d: relation %s cardinality changed under scaling", seed, name)
+			}
+		}
+	}
+}
+
+// Canonical forms are total: random pairs are either equivalent (equal
+// canonical strings) or not, and the relation is symmetric/transitive on a
+// triple of independently generated instances.
+func TestIntegrationEquivalenceIsEquivalence(t *testing.T) {
+	var ts []*invariant.T
+	for seed := int64(60); seed < 66; seed++ {
+		ti, err := invariant.New(randInstance(seed, 3))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts = append(ts, ti)
+	}
+	for i := range ts {
+		if !invariant.Equivalent(ts[i], ts[i]) {
+			t.Fatal("reflexivity broken")
+		}
+		for j := range ts {
+			if invariant.Equivalent(ts[i], ts[j]) != invariant.Equivalent(ts[j], ts[i]) {
+				t.Fatal("symmetry broken")
+			}
+			for k := range ts {
+				if invariant.Equivalent(ts[i], ts[j]) && invariant.Equivalent(ts[j], ts[k]) {
+					if !invariant.Equivalent(ts[i], ts[k]) {
+						t.Fatal("transitivity broken")
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,343 @@
+// Package arrange computes the exact planar arrangement (cell complex) of
+// all region boundaries of a spatial instance. It is this repository's
+// stand-in for the Kozen–Yap cell-decomposition algorithm the paper relies
+// on (§3): the output is a cell complex in the paper's sense — cells of
+// dimension 0 (vertices), 1 (edges) and 2 (faces), each labeled with a sign
+// class over the region names (interior / boundary / exterior), together
+// with the adjacency structure, the rotation system (cyclic edge order
+// around each vertex, the paper's relation O), the nesting forest of
+// connected components, and the distinguished exterior face f0.
+//
+// All computations are exact (rational arithmetic), so the combinatorial
+// output is correct by construction.
+package arrange
+
+import (
+	"fmt"
+	"sort"
+
+	"topodb/internal/geom"
+	"topodb/internal/rat"
+	"topodb/internal/spatial"
+)
+
+// Sign is a region-relative sign: interior, boundary, or exterior.
+// It matches the paper's labels o, ∂, −.
+type Sign int8
+
+const (
+	// Exterior of the region ("−").
+	Exterior Sign = iota
+	// Boundary of the region ("∂").
+	Boundary
+	// Interior of the region ("o").
+	Interior
+)
+
+func (s Sign) String() string {
+	switch s {
+	case Interior:
+		return "o"
+	case Boundary:
+		return "∂"
+	}
+	return "-"
+}
+
+// Label is a sign vector indexed like Arrangement.Names — the paper's
+// labeling σ: names(I) → {o, ∂, −}.
+type Label []Sign
+
+// Key returns a canonical string for the label.
+func (l Label) Key() string {
+	b := make([]byte, len(l))
+	for i, s := range l {
+		b[i] = "-bo"[s] // Exterior, Boundary, Interior
+	}
+	return string(b)
+}
+
+// String renders the label as e.g. "(A:o, B:-)".
+func (l Label) String() string { return l.Key() }
+
+// Owners is a bitmask over region indices (region i owns an edge when the
+// edge lies on i's boundary). Instances are limited to 64 regions, ample
+// for the paper's setting.
+type Owners uint64
+
+// Has reports whether region index i is in the set.
+func (o Owners) Has(i int) bool { return o&(1<<uint(i)) != 0 }
+
+// With returns the set with region index i added.
+func (o Owners) With(i int) Owners { return o | 1<<uint(i) }
+
+// Count returns the number of owners.
+func (o Owners) Count() int {
+	n := 0
+	for ; o != 0; o &= o - 1 {
+		n++
+	}
+	return n
+}
+
+// Vertex is a 0-cell of the arrangement.
+type Vertex struct {
+	P geom.Pt
+	// Out lists the half-edges with origin at this vertex in
+	// counterclockwise rotation order (the rotation system).
+	Out []int
+	// Comp is the connected component (of the skeleton) index.
+	Comp int
+	// Label is the vertex's sign class.
+	Label Label
+}
+
+// Edge is a 1-cell: a straight segment between two arrangement vertices,
+// interior-disjoint from all other cells.
+type Edge struct {
+	V1, V2 int    // endpoint vertex indices
+	Owners Owners // regions whose boundary contains this edge
+	H1, H2 int    // the two half-edges (H1: V1→V2, H2: V2→V1)
+	Label  Label  // sign class of the edge's relative interior
+	Comp   int
+}
+
+// HalfEdge is a directed edge of the DCEL.
+type HalfEdge struct {
+	Edge   int // parent edge
+	Origin int // origin vertex
+	Twin   int // opposite half-edge
+	Next   int // next half-edge along the face (face on the left)
+	Face   int // global face index (set after face merge)
+	walk   int // per-component walk index (internal)
+}
+
+// Face is a 2-cell of the arrangement (a connected component of the
+// complement of the skeleton).
+type Face struct {
+	// Walks lists the boundary walks: indices of one half-edge per walk;
+	// the full walk is recovered by following Next. The first walk is the
+	// face's own component walk for bounded faces. The exterior face has
+	// one walk per root component.
+	Walks []int
+	// Bounded reports whether the face is bounded (false only for f0).
+	Bounded bool
+	// Comp is the owning component for bounded faces; -1 for the
+	// exterior face.
+	Comp int
+	// Label is the face's sign class.
+	Label Label
+	// Sample is a point strictly inside the face.
+	Sample geom.Pt
+	// Area2 is twice the enclosed area of the face's primary walk
+	// (positive for bounded faces; 0 for the exterior face).
+	Area2 rat.R
+}
+
+// Component is a connected component of the skeleton (vertices ∪ edges).
+type Component struct {
+	Verts []int
+	Edges []int
+	// OuterWalk is the half-edge starting the component's outer walk.
+	OuterWalk int
+	// ParentFace is the global face the component sits inside (the
+	// exterior face index for root components).
+	ParentFace int
+	// RootVertex is a representative vertex.
+	RootVertex int
+}
+
+// Arrangement is the complete cell complex of an instance.
+type Arrangement struct {
+	Names    []string
+	Verts    []Vertex
+	Edges    []Edge
+	Half     []HalfEdge
+	Faces    []Face
+	Comps    []Component
+	Exterior int // index of f0 in Faces
+
+	index map[string]int // name -> region index
+}
+
+// RegionIndex returns the index of a region name, or -1.
+func (a *Arrangement) RegionIndex(name string) int {
+	if i, ok := a.index[name]; ok {
+		return i
+	}
+	return -1
+}
+
+// Stats summarizes cell counts.
+func (a *Arrangement) Stats() (v, e, f int) {
+	return len(a.Verts), len(a.Edges), len(a.Faces)
+}
+
+// Build computes the arrangement of all region boundaries of the instance.
+func Build(in *spatial.Instance) (*Arrangement, error) {
+	return BuildWithScaffold(in, nil)
+}
+
+// BuildWithScaffold computes the arrangement of the region boundaries plus
+// additional ownerless "scaffold" segments. Scaffold segments subdivide
+// cells without changing any region's extent; they are used by the query
+// evaluator to refine the cell complex (finer cells admit more witness
+// regions) and by the S-invariant construction of Theorem 6.1.
+func BuildWithScaffold(in *spatial.Instance, scaffold []geom.Seg) (*Arrangement, error) {
+	names := in.Names()
+	if len(names) == 0 {
+		return nil, fmt.Errorf("arrange: empty instance")
+	}
+	if len(names) > 64 {
+		return nil, fmt.Errorf("arrange: more than 64 regions")
+	}
+	a := &Arrangement{Names: names, index: make(map[string]int, len(names))}
+	for i, n := range names {
+		a.index[n] = i
+	}
+
+	// 1. Collect owned segments plus ownerless scaffold.
+	var segs []ownedSeg
+	for i, n := range names {
+		r := in.MustExt(n)
+		for _, s := range r.Boundary() {
+			segs = append(segs, ownedSeg{s, Owners(0).With(i)})
+		}
+	}
+	for _, s := range scaffold {
+		if s.IsDegenerate() {
+			return nil, fmt.Errorf("arrange: degenerate scaffold segment at %s", s.A)
+		}
+		segs = append(segs, ownedSeg{s, 0})
+	}
+
+	// 2. Split at all mutual intersections and deduplicate.
+	pieces := splitSegments(segs)
+
+	// 3. Vertices & edges.
+	a.buildGraph(pieces)
+
+	// 4. Rotation system.
+	a.buildRotation()
+
+	// 5. Components.
+	a.buildComponents()
+
+	// 6. Face walks per component; global face merge via nesting.
+	a.buildFaces()
+
+	// 7. Labels.
+	if err := a.labelCells(in); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+type ownedSeg struct {
+	s geom.Seg
+	o Owners
+}
+
+// buildGraph converts split pieces to vertices and edges with half-edges.
+func (a *Arrangement) buildGraph(pieces []ownedSeg) {
+	vidx := make(map[string]int)
+	getV := func(p geom.Pt) int {
+		k := p.Key()
+		if i, ok := vidx[k]; ok {
+			return i
+		}
+		i := len(a.Verts)
+		vidx[k] = i
+		a.Verts = append(a.Verts, Vertex{P: p})
+		return i
+	}
+	for _, ps := range pieces {
+		v1, v2 := getV(ps.s.A), getV(ps.s.B)
+		e := len(a.Edges)
+		h1, h2 := len(a.Half), len(a.Half)+1
+		a.Edges = append(a.Edges, Edge{V1: v1, V2: v2, Owners: ps.o, H1: h1, H2: h2})
+		a.Half = append(a.Half,
+			HalfEdge{Edge: e, Origin: v1, Twin: h2, Next: -1, Face: -1},
+			HalfEdge{Edge: e, Origin: v2, Twin: h1, Next: -1, Face: -1},
+		)
+		a.Verts[v1].Out = append(a.Verts[v1].Out, h1)
+		a.Verts[v2].Out = append(a.Verts[v2].Out, h2)
+	}
+}
+
+// dir returns the direction vector of half-edge h from its origin.
+func (a *Arrangement) dir(h int) geom.Pt {
+	he := a.Half[h]
+	e := a.Edges[he.Edge]
+	if he.Origin == e.V1 {
+		return a.Verts[e.V2].P.Sub(a.Verts[e.V1].P)
+	}
+	return a.Verts[e.V1].P.Sub(a.Verts[e.V2].P)
+}
+
+// Head returns the destination vertex of half-edge h.
+func (a *Arrangement) Head(h int) int {
+	he := a.Half[h]
+	e := a.Edges[he.Edge]
+	if he.Origin == e.V1 {
+		return e.V2
+	}
+	return e.V1
+}
+
+func (a *Arrangement) buildRotation() {
+	for vi := range a.Verts {
+		v := &a.Verts[vi]
+		sort.Slice(v.Out, func(i, j int) bool {
+			return geom.AngleLess(a.dir(v.Out[i]), a.dir(v.Out[j]))
+		})
+	}
+	// Next pointers: traversing with the face on the LEFT, the successor
+	// of h at its head vertex w is the rotational predecessor of twin(h)
+	// in the counterclockwise order around w.
+	for vi := range a.Verts {
+		out := a.Verts[vi].Out
+		for k, h := range out {
+			pred := out[(k-1+len(out))%len(out)]
+			// twin(pred... we set Next of the half-edge arriving at vi
+			// whose twin is h: arriving half-edge = twin(h).
+			a.Half[a.Half[h].Twin].Next = pred
+		}
+	}
+}
+
+func (a *Arrangement) buildComponents() {
+	comp := make([]int, len(a.Verts))
+	for i := range comp {
+		comp[i] = -1
+	}
+	for vi := range a.Verts {
+		if comp[vi] != -1 {
+			continue
+		}
+		ci := len(a.Comps)
+		c := Component{RootVertex: vi, ParentFace: -1}
+		stack := []int{vi}
+		comp[vi] = ci
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			c.Verts = append(c.Verts, v)
+			a.Verts[v].Comp = ci
+			for _, h := range a.Verts[v].Out {
+				w := a.Head(h)
+				if comp[w] == -1 {
+					comp[w] = ci
+					stack = append(stack, w)
+				}
+			}
+		}
+		a.Comps = append(a.Comps, c)
+	}
+	for ei := range a.Edges {
+		e := &a.Edges[ei]
+		e.Comp = a.Verts[e.V1].Comp
+		c := &a.Comps[e.Comp]
+		c.Edges = append(c.Edges, ei)
+	}
+}

@@ -1,0 +1,294 @@
+package arrange
+
+import (
+	"fmt"
+
+	"topodb/internal/geom"
+	"topodb/internal/rat"
+	"topodb/internal/spatial"
+)
+
+// buildFaces traces the face walks of every component, identifies each
+// component's outer walk, computes the nesting forest (which face each
+// component is embedded in, the paper's "embedded-in tree"), and merges
+// per-component faces into global faces with the single unbounded face f0.
+func (a *Arrangement) buildFaces() {
+	// 1. Trace walks.
+	type walkInfo struct {
+		start int
+		comp  int
+		area2 rat.R
+	}
+	walkOf := make([]int, len(a.Half))
+	for i := range walkOf {
+		walkOf[i] = -1
+	}
+	var walks []walkInfo
+	for h := range a.Half {
+		if walkOf[h] != -1 {
+			continue
+		}
+		wi := len(walks)
+		area := rat.Zero
+		for cur := h; ; {
+			walkOf[cur] = wi
+			a.Half[cur].walk = wi
+			o := a.Verts[a.Half[cur].Origin].P
+			d := a.Verts[a.Head(cur)].P
+			area = area.Add(geom.Cross(o, d))
+			cur = a.Half[cur].Next
+			if cur == h {
+				break
+			}
+		}
+		walks = append(walks, walkInfo{h, a.Verts[a.Half[h].Origin].Comp, area})
+	}
+
+	// 2. Outer walk per component: the unique negative-area walk.
+	for wi, w := range walks {
+		if w.area2.Sign() < 0 {
+			a.Comps[w.comp].OuterWalk = w.start
+			_ = wi
+		}
+	}
+
+	// 3. Bounded faces: one per positive-area walk.
+	faceOfWalk := make([]int, len(walks))
+	for i := range faceOfWalk {
+		faceOfWalk[i] = -1
+	}
+	for wi, w := range walks {
+		if w.area2.Sign() <= 0 {
+			continue
+		}
+		faceOfWalk[wi] = len(a.Faces)
+		a.Faces = append(a.Faces, Face{
+			Walks:   []int{w.start},
+			Bounded: true,
+			Comp:    w.comp,
+			Area2:   w.area2,
+		})
+	}
+	// The exterior face.
+	a.Exterior = len(a.Faces)
+	a.Faces = append(a.Faces, Face{Bounded: false, Comp: -1})
+
+	// 4. Nesting: for each component, find the innermost bounded face of
+	// another component containing its representative point.
+	for ci := range a.Comps {
+		p := a.Verts[a.Comps[ci].RootVertex].P
+		best := -1
+		var bestArea rat.R
+		for fi := range a.Faces {
+			f := &a.Faces[fi]
+			if !f.Bounded || f.Comp == ci {
+				continue
+			}
+			if !a.walkContains(f.Walks[0], p) {
+				continue
+			}
+			if best == -1 || f.Area2.Less(bestArea) {
+				best, bestArea = fi, f.Area2
+			}
+		}
+		if best == -1 {
+			best = a.Exterior
+		}
+		a.Comps[ci].ParentFace = best
+		// The component's outer walk becomes an extra boundary walk of
+		// its parent face.
+		outer := a.Comps[ci].OuterWalk
+		a.Faces[best].Walks = append(a.Faces[best].Walks, outer)
+		faceOfWalk[walkOf[outer]] = best
+	}
+
+	// 5. Assign faces to half-edges.
+	for h := range a.Half {
+		a.Half[h].Face = faceOfWalk[walkOf[h]]
+	}
+}
+
+// walkEdges returns the directed half-edges of the walk starting at h.
+func (a *Arrangement) walkEdges(h int) []int {
+	var out []int
+	for cur := h; ; {
+		out = append(out, cur)
+		cur = a.Half[cur].Next
+		if cur == h {
+			break
+		}
+	}
+	return out
+}
+
+// WalkHalfEdges exposes the boundary walk starting at half-edge h.
+func (a *Arrangement) WalkHalfEdges(h int) []int { return a.walkEdges(h) }
+
+// walkContains reports whether p is enclosed by the walk starting at h,
+// using an exact even–odd crossing count over the walk's edge multiset
+// (bridge edges appear twice and cancel). p must not lie on the walk.
+func (a *Arrangement) walkContains(h int, p geom.Pt) bool {
+	inside := false
+	for _, he := range a.walkEdges(h) {
+		e := a.Edges[a.Half[he].Edge]
+		aP, bP := a.Verts[e.V1].P, a.Verts[e.V2].P
+		if aP.Y.Cmp(bP.Y) == 0 {
+			continue
+		}
+		if aP.Y.Cmp(bP.Y) > 0 {
+			aP, bP = bP, aP
+		}
+		if aP.Y.LessEq(p.Y) && p.Y.Less(bP.Y) && geom.Orient(aP, bP, p) > 0 {
+			inside = !inside
+		}
+	}
+	return inside
+}
+
+// leftNormal returns a left-pointing normal of v.
+func leftNormal(v geom.Pt) geom.Pt { return geom.Pt{X: v.Y.Neg(), Y: v.X} }
+
+// sampleFace computes a point strictly inside each face.
+func (a *Arrangement) sampleFaces() error {
+	box := geom.BoxOf(a.Verts[0].P)
+	for _, v := range a.Verts[1:] {
+		box = box.Union(geom.BoxOf(v.P))
+	}
+	for fi := range a.Faces {
+		f := &a.Faces[fi]
+		if !f.Bounded {
+			f.Sample = geom.Pt{X: box.MaxX.Add(rat.One), Y: box.MaxY.Add(rat.One)}
+			continue
+		}
+		h := f.Walks[0]
+		s, err := a.samplePastHalfEdge(h, box)
+		if err != nil {
+			return fmt.Errorf("arrange: face %d: %w", fi, err)
+		}
+		f.Sample = s
+	}
+	return nil
+}
+
+// samplePastHalfEdge returns a point strictly inside the face to the left
+// of half-edge h: it casts a ray from the edge midpoint along the left
+// normal and stops halfway to the first thing it hits.
+func (a *Arrangement) samplePastHalfEdge(h int, box geom.Box) (geom.Pt, error) {
+	he := a.Half[h]
+	m := geom.Mid(a.Verts[he.Origin].P, a.Verts[a.Head(h)].P)
+	n := leftNormal(a.dir(h))
+	// Scale n so the ray certainly exits the bounding box.
+	span := box.MaxX.Sub(box.MinX).Add(box.MaxY.Sub(box.MinY)).Add(rat.One)
+	mag := rat.Max(n.X.Abs(), n.Y.Abs())
+	far := m.Add(n.Scale(span.Div(mag)))
+	ray := geom.Seg{A: m, B: far}
+	// Nearest hit strictly after m, measured along the dominant axis.
+	along := func(p geom.Pt) rat.R {
+		if n.X.Abs().Cmp(n.Y.Abs()) >= 0 {
+			return p.X.Sub(m.X).Div(far.X.Sub(m.X))
+		}
+		return p.Y.Sub(m.Y).Div(far.Y.Sub(m.Y))
+	}
+	tMin := rat.FromInt(2) // beyond the ray end
+	found := false
+	for ei := range a.Edges {
+		if ei == he.Edge {
+			continue
+		}
+		e := a.Edges[ei]
+		seg := geom.Seg{A: a.Verts[e.V1].P, B: a.Verts[e.V2].P}
+		inter := geom.Intersect(ray, seg)
+		var hits []geom.Pt
+		switch inter.Kind {
+		case geom.PointIntersection:
+			hits = []geom.Pt{inter.P}
+		case geom.OverlapIntersection:
+			hits = []geom.Pt{inter.P, inter.Q}
+		default:
+			continue
+		}
+		for _, p := range hits {
+			t := along(p)
+			if t.Sign() > 0 && t.Less(tMin) {
+				tMin, found = t, true
+			}
+		}
+	}
+	if !found {
+		return geom.Pt{}, fmt.Errorf("sampling ray from %s escaped a bounded face", m)
+	}
+	return m.Add(far.Sub(m).Scale(tMin.Div(rat.Two))), nil
+}
+
+// labelCells assigns the sign-class labels of every vertex, edge and face.
+func (a *Arrangement) labelCells(in *spatial.Instance) error {
+	if err := a.sampleFaces(); err != nil {
+		return err
+	}
+	locate := func(p geom.Pt) Label {
+		l := make(Label, len(a.Names))
+		for i, n := range a.Names {
+			switch in.MustExt(n).Locate(p) {
+			case geom.Inside:
+				l[i] = Interior
+			case geom.OnBoundary:
+				l[i] = Boundary
+			default:
+				l[i] = Exterior
+			}
+		}
+		return l
+	}
+	for fi := range a.Faces {
+		f := &a.Faces[fi]
+		f.Label = locate(f.Sample)
+		for i, s := range f.Label {
+			if s == Boundary {
+				return fmt.Errorf("arrange: face sample %s lies on boundary of %s", f.Sample, a.Names[i])
+			}
+		}
+	}
+	for ei := range a.Edges {
+		e := &a.Edges[ei]
+		m := geom.Mid(a.Verts[e.V1].P, a.Verts[e.V2].P)
+		l := locate(m)
+		for i := range l {
+			if e.Owners.Has(i) {
+				if l[i] != Boundary {
+					return fmt.Errorf("arrange: edge %d owned by %s but midpoint not on its boundary", ei, a.Names[i])
+				}
+			} else if l[i] == Boundary {
+				return fmt.Errorf("arrange: edge %d midpoint on boundary of non-owner %s", ei, a.Names[i])
+			}
+		}
+		e.Label = l
+	}
+	for vi := range a.Verts {
+		a.Verts[vi].Label = locate(a.Verts[vi].P)
+	}
+	return nil
+}
+
+// FaceOfPoint returns the index of the face containing p, or an error if p
+// lies on the skeleton.
+func (a *Arrangement) FaceOfPoint(p geom.Pt) (int, error) {
+	for ei := range a.Edges {
+		e := a.Edges[ei]
+		if (geom.Seg{A: a.Verts[e.V1].P, B: a.Verts[e.V2].P}).Contains(p) {
+			return 0, fmt.Errorf("arrange: point %s lies on the skeleton", p)
+		}
+	}
+	best, bestArea := a.Exterior, rat.R{}
+	for fi := range a.Faces {
+		f := &a.Faces[fi]
+		if !f.Bounded {
+			continue
+		}
+		if a.walkContains(f.Walks[0], p) {
+			if best == a.Exterior || f.Area2.Less(bestArea) {
+				best, bestArea = fi, f.Area2
+			}
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,56 @@
+package arrange
+
+import (
+	"sort"
+
+	"topodb/internal/geom"
+)
+
+// splitSegments cuts every input segment at each point where it meets
+// another segment (crossings, T-junctions, touching endpoints, and the
+// endpoints of collinear overlaps), then deduplicates the resulting pieces,
+// merging owner sets of coincident pieces. The output is a set of
+// interior-disjoint segments meeting only at shared endpoints — the 1-
+// skeleton of the arrangement.
+func splitSegments(segs []ownedSeg) []ownedSeg {
+	n := len(segs)
+	cuts := make([][]geom.Pt, n)
+	for i := range segs {
+		cuts[i] = append(cuts[i], segs[i].s.A, segs[i].s.B)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			inter := geom.Intersect(segs[i].s, segs[j].s)
+			switch inter.Kind {
+			case geom.PointIntersection:
+				cuts[i] = append(cuts[i], inter.P)
+				cuts[j] = append(cuts[j], inter.P)
+			case geom.OverlapIntersection:
+				cuts[i] = append(cuts[i], inter.P, inter.Q)
+				cuts[j] = append(cuts[j], inter.P, inter.Q)
+			}
+		}
+	}
+	type pieceKey struct{ a, b string }
+	merged := make(map[pieceKey]int)
+	var out []ownedSeg
+	for i := range segs {
+		pts := cuts[i]
+		// Points on a common line are totally ordered lexicographically.
+		sort.Slice(pts, func(a, b int) bool { return pts[a].Cmp(pts[b]) < 0 })
+		for k := 0; k+1 < len(pts); k++ {
+			a, b := pts[k], pts[k+1]
+			if a.Equal(b) {
+				continue
+			}
+			key := pieceKey{a.Key(), b.Key()}
+			if idx, ok := merged[key]; ok {
+				out[idx].o |= segs[i].o
+				continue
+			}
+			merged[key] = len(out)
+			out = append(out, ownedSeg{geom.Seg{A: a, B: b}, segs[i].o})
+		}
+	}
+	return out
+}

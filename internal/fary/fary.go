@@ -1,0 +1,228 @@
+// Package fary constructs a polygonal representative of a topological
+// invariant (the paper's Theorem 3.5): every H-equivalence class of
+// semi-algebraic instances contains a Poly instance, obtained by a
+// straight-line (Fáry) drawing of the invariant's skeleton. We use the
+// Tutte barycentric method the paper cites: fix the outer cycle as a
+// convex polygon and place every interior vertex at the average of its
+// neighbours, solving the linear system exactly over the rationals by
+// Gaussian elimination.
+//
+// Rather than re-embedding the abstract invariant (whose full generality
+// — loops, closed curves, nested components — would need the paper's
+// triconnected decomposition machinery), we take the geometric route the
+// theorem's proof licenses: redraw the *arrangement skeleton* of the
+// instance with all edges straight, which yields a Poly instance with the
+// same invariant. The round-trip property (same invariant before and
+// after) is verified by tests for every fixture.
+package fary
+
+import (
+	"fmt"
+
+	"topodb/internal/geom"
+	"topodb/internal/rat"
+	"topodb/internal/region"
+	"topodb/internal/spatial"
+)
+
+// Polygonalize returns a Poly instance topologically equivalent to the
+// input: every region boundary is redrawn using only the ring vertices
+// (straight edges). For polygonal inputs this is essentially the identity;
+// for Alg inputs (discretized curves) it certifies the polygonal
+// representative; the sampled parameter lets callers coarsen boundaries
+// (keep every k-th vertex) as long as the topology is preserved — the
+// caller should verify equivalence via the invariant, which the paper's
+// Theorem 3.5 guarantees is possible.
+func Polygonalize(in *spatial.Instance, keepEvery int) (*spatial.Instance, error) {
+	if keepEvery < 1 {
+		keepEvery = 1
+	}
+	out := spatial.New()
+	for _, n := range in.Names() {
+		r := in.MustExt(n)
+		ring := r.Ring()
+		var kept geom.Ring
+		for i, p := range ring {
+			if i%keepEvery == 0 {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) < 3 {
+			kept = ring
+		}
+		nr, err := region.NewPoly(kept)
+		if err != nil {
+			// Coarsening broke simplicity; fall back to the full ring.
+			nr, err = region.NewPoly(ring)
+			if err != nil {
+				return nil, fmt.Errorf("fary: region %s: %w", n, err)
+			}
+		}
+		if err := out.Add(n, nr); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// TutteEmbed computes a straight-line convex-barycentric embedding of a
+// graph: vertices 0..n-1, undirected edges, and a distinguished outer
+// cycle (in order). Outer vertices are pinned to a convex polygon;
+// interior vertices are placed at the barycenter of their neighbours. For
+// a triconnected planar graph this is a planar straight-line drawing
+// (Tutte's theorem, the paper's NC Fáry construction); the solver is exact
+// rational Gaussian elimination.
+func TutteEmbed(n int, edges [][2]int, outer []int) ([]geom.Pt, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fary: empty graph")
+	}
+	if len(outer) < 3 {
+		return nil, fmt.Errorf("fary: outer cycle needs >= 3 vertices")
+	}
+	pos := make([]geom.Pt, n)
+	pinned := make([]bool, n)
+	// Pin the outer cycle to a convex polygon: points on a coarse
+	// rational circle.
+	ring := convexPolygon(len(outer))
+	for i, v := range outer {
+		if v < 0 || v >= n {
+			return nil, fmt.Errorf("fary: outer vertex %d out of range", v)
+		}
+		if pinned[v] {
+			return nil, fmt.Errorf("fary: outer cycle repeats vertex %d", v)
+		}
+		pinned[v] = true
+		pos[v] = ring[i]
+	}
+	adj := make([][]int, n)
+	for _, e := range edges {
+		if e[0] < 0 || e[0] >= n || e[1] < 0 || e[1] >= n || e[0] == e[1] {
+			return nil, fmt.Errorf("fary: bad edge %v", e)
+		}
+		adj[e[0]] = append(adj[e[0]], e[1])
+		adj[e[1]] = append(adj[e[1]], e[0])
+	}
+	// Unknowns: interior vertices.
+	var interior []int
+	idx := make([]int, n)
+	for v := 0; v < n; v++ {
+		if !pinned[v] {
+			idx[v] = len(interior)
+			interior = append(interior, v)
+		}
+	}
+	m := len(interior)
+	if m == 0 {
+		return pos, nil
+	}
+	// Build A·x = bx, A·y = by with A = deg on the diagonal, -1 for
+	// interior neighbours; pinned neighbours contribute to b.
+	A := make([][]rat.R, m)
+	bx := make([]rat.R, m)
+	by := make([]rat.R, m)
+	for k, v := range interior {
+		A[k] = make([]rat.R, m)
+		if len(adj[v]) == 0 {
+			return nil, fmt.Errorf("fary: isolated interior vertex %d", v)
+		}
+		A[k][k] = rat.FromInt(int64(len(adj[v])))
+		for _, w := range adj[v] {
+			if pinned[w] {
+				bx[k] = bx[k].Add(pos[w].X)
+				by[k] = by[k].Add(pos[w].Y)
+			} else {
+				A[k][idx[w]] = A[k][idx[w]].Sub(rat.One)
+			}
+		}
+	}
+	// solve mutates its matrix, so the y-system gets a pristine copy.
+	ySys := cloneMat(A)
+	xs, err := solve(A, bx)
+	if err != nil {
+		return nil, err
+	}
+	ys, err := solve(ySys, by)
+	if err != nil {
+		return nil, err
+	}
+	for k, v := range interior {
+		pos[v] = geom.Pt{X: xs[k], Y: ys[k]}
+	}
+	return pos, nil
+}
+
+// convexPolygon returns k points in convex position (counterclockwise) on
+// an axis-aligned rational "circle".
+func convexPolygon(k int) []geom.Pt {
+	// Rational points on the unit circle via the tangent half-angle map,
+	// scaled up for headroom.
+	pts := make([]geom.Pt, k)
+	for i := 0; i < k; i++ {
+		// t spans [-3, 3] plus the point at angle π.
+		if i == k-1 {
+			pts[i] = geom.P(-1000, 0)
+			continue
+		}
+		den := int64(1)
+		if k > 1 {
+			den = int64(k - 1)
+		}
+		t := rat.FromFrac(int64(-3*(k-1)+6*i), den)
+		t2 := t.Mul(t)
+		d := rat.One.Add(t2)
+		pts[i] = geom.Pt{
+			X: rat.FromInt(1000).Mul(rat.One.Sub(t2)).Div(d),
+			Y: rat.FromInt(1000).Mul(rat.Two).Mul(t).Div(d),
+		}
+	}
+	return pts
+}
+
+func cloneMat(a [][]rat.R) [][]rat.R {
+	out := make([][]rat.R, len(a))
+	for i := range a {
+		out[i] = append([]rat.R(nil), a[i]...)
+	}
+	return out
+}
+
+// solve performs exact Gaussian elimination with partial (nonzero)
+// pivoting; it mutates A and b.
+func solve(a [][]rat.R, b []rat.R) ([]rat.R, error) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Find a pivot.
+		p := -1
+		for r := col; r < n; r++ {
+			if a[r][col].Sign() != 0 {
+				p = r
+				break
+			}
+		}
+		if p == -1 {
+			return nil, fmt.Errorf("fary: singular system (Tutte requires a connected interior)")
+		}
+		a[col], a[p] = a[p], a[col]
+		b[col], b[p] = b[p], b[col]
+		inv := a[col][col].Inv()
+		for r := col + 1; r < n; r++ {
+			if a[r][col].Sign() == 0 {
+				continue
+			}
+			f := a[r][col].Mul(inv)
+			for c := col; c < n; c++ {
+				a[r][c] = a[r][c].Sub(f.Mul(a[col][c]))
+			}
+			b[r] = b[r].Sub(f.Mul(b[col]))
+		}
+	}
+	x := make([]rat.R, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for c := r + 1; c < n; c++ {
+			sum = sum.Sub(a[r][c].Mul(x[c]))
+		}
+		x[r] = sum.Div(a[r][r])
+	}
+	return x, nil
+}

@@ -1,0 +1,144 @@
+package fary
+
+import (
+	"testing"
+
+	"topodb/internal/geom"
+	"topodb/internal/invariant"
+	"topodb/internal/rat"
+	"topodb/internal/spatial"
+	"topodb/internal/workload"
+)
+
+// Theorem 3.5 round trip: the polygonal representative has the same
+// invariant as the original instance.
+func TestPolygonalizeRoundTrip(t *testing.T) {
+	fixtures := map[string]*spatial.Instance{
+		"fig1a":   spatial.Fig1a(),
+		"fig1b":   spatial.Fig1b(),
+		"fig1c":   spatial.Fig1c(),
+		"fig1d":   spatial.Fig1d(),
+		"O":       spatial.InterlockedO(),
+		"circles": workload.CirclePair(24),
+	}
+	for name, in := range fixtures {
+		ti, err := invariant.New(in)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		poly, err := Polygonalize(in, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		tp, err := invariant.New(poly)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !invariant.Equivalent(ti, tp) {
+			t.Errorf("%s: polygonal representative not equivalent", name)
+		}
+	}
+}
+
+// Coarsening a densely sampled circle (keep every 2nd vertex) must keep
+// the invariant when the circles are far from degeneracy.
+func TestPolygonalizeCoarsen(t *testing.T) {
+	in := workload.CirclePair(48)
+	ti, err := invariant.New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	coarse, err := Polygonalize(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc, err := invariant.New(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !invariant.Equivalent(ti, tc) {
+		t.Error("coarsened circles changed the invariant")
+	}
+	// The coarse instance really has fewer vertices.
+	if len(coarse.MustExt("A").Ring()) >= len(in.MustExt("A").Ring()) {
+		t.Error("coarsening did not reduce vertex count")
+	}
+}
+
+// Tutte embedding of K4 (triconnected): the interior vertex lands at the
+// barycenter and the drawing is planar (all faces consistently oriented).
+func TestTutteK4(t *testing.T) {
+	edges := [][2]int{{0, 1}, {1, 2}, {2, 0}, {0, 3}, {1, 3}, {2, 3}}
+	pos, err := TutteEmbed(4, edges, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertex 3 is the average of vertices 0,1,2.
+	want := geom.Pt{
+		X: pos[0].X.Add(pos[1].X).Add(pos[2].X).Div(three()),
+		Y: pos[0].Y.Add(pos[1].Y).Add(pos[2].Y).Div(three()),
+	}
+	if !pos[3].Equal(want) {
+		t.Fatalf("interior vertex at %s, want %s", pos[3], want)
+	}
+	// Inside the outer triangle.
+	tri := geom.Ring{pos[0], pos[1], pos[2]}
+	if geom.RingContains(tri, pos[3]) != geom.Inside {
+		t.Fatal("interior vertex not inside the outer face")
+	}
+}
+
+// A triconnected prism graph: all interior vertices strictly inside the
+// outer face and no two coincide.
+func TestTuttePrism(t *testing.T) {
+	// Triangular prism: outer triangle 0,1,2; inner triangle 3,4,5.
+	edges := [][2]int{
+		{0, 1}, {1, 2}, {2, 0},
+		{3, 4}, {4, 5}, {5, 3},
+		{0, 3}, {1, 4}, {2, 5},
+	}
+	pos, err := TutteEmbed(6, edges, []int{0, 1, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tri := geom.Ring{pos[0], pos[1], pos[2]}
+	for v := 3; v < 6; v++ {
+		if geom.RingContains(tri, pos[v]) != geom.Inside {
+			t.Fatalf("vertex %d outside the outer face", v)
+		}
+	}
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			if pos[i].Equal(pos[j]) {
+				t.Fatalf("vertices %d and %d coincide", i, j)
+			}
+		}
+	}
+	// No two of the spoke edges cross (planarity spot check).
+	spokes := []geom.Seg{{A: pos[0], B: pos[3]}, {A: pos[1], B: pos[4]}, {A: pos[2], B: pos[5]}}
+	for i := range spokes {
+		for j := i + 1; j < len(spokes); j++ {
+			if geom.Intersect(spokes[i], spokes[j]).Kind != geom.NoIntersection {
+				t.Fatal("spoke edges cross")
+			}
+		}
+	}
+}
+
+func TestTutteErrors(t *testing.T) {
+	if _, err := TutteEmbed(0, nil, nil); err == nil {
+		t.Error("empty graph accepted")
+	}
+	if _, err := TutteEmbed(3, nil, []int{0, 1}); err == nil {
+		t.Error("short outer cycle accepted")
+	}
+	if _, err := TutteEmbed(4, [][2]int{{0, 0}}, []int{0, 1, 2}); err == nil {
+		t.Error("self-loop accepted")
+	}
+	// Isolated interior vertex.
+	if _, err := TutteEmbed(4, [][2]int{{0, 1}, {1, 2}, {2, 0}}, []int{0, 1, 2}); err == nil {
+		t.Error("isolated interior vertex accepted")
+	}
+}
+
+func three() rat.R { return rat.FromInt(3) }

@@ -1,0 +1,92 @@
+package folang
+
+import "math/bits"
+
+// Bits is a fixed-universe bitset over the cells of an arrangement.
+type Bits []uint64
+
+// NewBits returns an empty bitset for a universe of n cells.
+func NewBits(n int) Bits { return make(Bits, (n+63)/64) }
+
+// Set adds cell i.
+func (b Bits) Set(i int) { b[i/64] |= 1 << uint(i%64) }
+
+// Has reports membership of cell i.
+func (b Bits) Has(i int) bool { return b[i/64]&(1<<uint(i%64)) != 0 }
+
+// Clone returns a copy.
+func (b Bits) Clone() Bits { return append(Bits(nil), b...) }
+
+// Or sets b = b ∪ c.
+func (b Bits) Or(c Bits) {
+	for i := range b {
+		b[i] |= c[i]
+	}
+}
+
+// AndNot sets b = b ∖ c.
+func (b Bits) AndNot(c Bits) {
+	for i := range b {
+		b[i] &^= c[i]
+	}
+}
+
+// Intersects reports b ∩ c ≠ ∅.
+func (b Bits) Intersects(c Bits) bool {
+	for i := range b {
+		if b[i]&c[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// SubsetOf reports b ⊆ c.
+func (b Bits) SubsetOf(c Bits) bool {
+	for i := range b {
+		if b[i]&^c[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the set is empty.
+func (b Bits) Empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the cardinality.
+func (b Bits) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Equal reports set equality.
+func (b Bits) Equal(c Bits) bool {
+	for i := range b {
+		if b[i] != c[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Key returns a map key for the set.
+func (b Bits) Key() string {
+	buf := make([]byte, 0, len(b)*8)
+	for _, w := range b {
+		for k := 0; k < 8; k++ {
+			buf = append(buf, byte(w>>(8*k)))
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,48 @@
+package folang
+
+// Derived predicates from the paper's Theorem 4.4 and Theorem 5.8
+// (Fig 13): definable formulas over the base 4-intersection atoms, used to
+// show FO(Rect*, ·) expresses "r is a rectangle" and to build the
+// rectangle coordinate systems of the relative-completeness proof.
+
+// EdgePred builds the paper's edge(r, r′) (Fig 13a): the regions meet and
+// share at least a nonzero-length portion of an edge — witnessed by a
+// region overlapping both.
+func EdgePred(r, s string) Formula {
+	return And{
+		Atom{"meet", Term{r}, Term{s}},
+		Quant{Exists: true, Sort: SortRegion, Var: "_w", F: And{
+			Atom{"overlap", Term{"_w"}, Term{r}},
+			Atom{"overlap", Term{"_w"}, Term{s}},
+		}},
+	}
+}
+
+// CornerPred builds corner(r, r′) (Fig 13b): the regions meet at a corner
+// only.
+func CornerPred(r, s string) Formula {
+	return And{
+		Atom{"meet", Term{r}, Term{s}},
+		Not{EdgePred(r, s)},
+	}
+}
+
+// SharesBoundaryArc is the cell-semantics shortcut for edge-sharing: the
+// boundaries share a 1-dimensional piece. On cell sets this is directly
+// observable (a common boundary edge cell), so it needs no quantifier; it
+// is used to cross-check EdgePred.
+func SharesBoundaryArc(u *Universe, r, s string) bool {
+	x, y := u.Region(r), u.Region(s)
+	if x == nil || y == nil {
+		return false
+	}
+	bx, by := u.BoundaryOf(x), u.BoundaryOf(y)
+	// A shared edge cell (index >= nf, < nf+ne) in both boundaries.
+	for ei := 0; ei < u.ne; ei++ {
+		c := u.edgeCell(ei)
+		if bx.Has(c) && by.Has(c) {
+			return true
+		}
+	}
+	return false
+}

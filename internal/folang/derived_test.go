@@ -1,0 +1,75 @@
+package folang
+
+import (
+	"testing"
+
+	"topodb/internal/region"
+	"topodb/internal/spatial"
+)
+
+// Fig 13 predicates: edge-sharing vs corner-touching rectangles.
+func TestEdgeAndCornerPredicates(t *testing.T) {
+	edgeShare := spatial.New().
+		MustAdd("A", region.MustRect(0, 0, 4, 4)).
+		MustAdd("B", region.MustRect(4, 0, 8, 4))
+	cornerTouch := spatial.New().
+		MustAdd("A", region.MustRect(0, 0, 4, 4)).
+		MustAdd("B", region.MustRect(4, 4, 8, 8))
+
+	run := func(in *spatial.Instance, f Formula) bool {
+		u, err := NewUniverse(in, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ev := NewEvaluator(u)
+		ev.Opts.MaxRegionFaces = 4
+		ok, err := ev.Eval(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ok
+	}
+	if !run(edgeShare, EdgePred("A", "B")) {
+		t.Error("edge-sharing rectangles: edge(A,B) should hold")
+	}
+	if run(cornerTouch, EdgePred("A", "B")) {
+		t.Error("corner-touching rectangles: edge(A,B) should fail")
+	}
+	if run(edgeShare, CornerPred("A", "B")) {
+		t.Error("edge-sharing rectangles: corner(A,B) should fail")
+	}
+	if !run(cornerTouch, CornerPred("A", "B")) {
+		t.Error("corner-touching rectangles: corner(A,B) should hold")
+	}
+}
+
+// The quantifier-based EdgePred agrees with the direct cell-level
+// boundary-arc check on both configurations.
+func TestEdgePredMatchesDirectCheck(t *testing.T) {
+	cases := map[string]struct {
+		in   *spatial.Instance
+		want bool
+	}{
+		"edge": {spatial.New().
+			MustAdd("A", region.MustRect(0, 0, 4, 4)).
+			MustAdd("B", region.MustRect(4, 0, 8, 4)), true},
+		"corner": {spatial.New().
+			MustAdd("A", region.MustRect(0, 0, 4, 4)).
+			MustAdd("B", region.MustRect(4, 4, 8, 8)), false},
+		"partial-edge": {spatial.New().
+			MustAdd("A", region.MustRect(0, 0, 4, 6)).
+			MustAdd("B", region.MustRect(4, 2, 8, 4)), true},
+		"disjoint": {spatial.New().
+			MustAdd("A", region.MustRect(0, 0, 4, 4)).
+			MustAdd("B", region.MustRect(6, 0, 10, 4)), false},
+	}
+	for name, c := range cases {
+		u, err := NewUniverse(c.in, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := SharesBoundaryArc(u, "A", "B"); got != c.want {
+			t.Errorf("%s: SharesBoundaryArc = %v, want %v", name, got, c.want)
+		}
+	}
+}

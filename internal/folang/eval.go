@@ -1,0 +1,273 @@
+package folang
+
+import (
+	"fmt"
+
+	"topodb/internal/fourint"
+)
+
+// Options configures evaluation.
+type Options struct {
+	// RegionEnumLimit caps how many candidate face sets a single region
+	// quantifier examines (soundness is kept: a hit is always a real
+	// witness; exhaustiveness holds up to the budget).
+	RegionEnumLimit int
+	// MaxRegionFaces caps the size of candidate regions (0 = no cap).
+	MaxRegionFaces int
+}
+
+// DefaultOptions returns the evaluation defaults.
+func DefaultOptions() Options {
+	return Options{RegionEnumLimit: 200000, MaxRegionFaces: 0}
+}
+
+// value is a runtime binding: a name or a cell set with its closure
+// precomputed (closures dominate atom-evaluation cost, so they are
+// computed once per binding, not once per atom).
+type value struct {
+	isName bool
+	name   string
+	set    Bits
+	clo    Bits
+}
+
+func (ev *Evaluator) mkValue(set Bits) value {
+	return value{set: set, clo: ev.U.ClosureOf(set)}
+}
+
+func (v value) boundary() Bits {
+	b := v.clo.Clone()
+	b.AndNot(v.set)
+	return b
+}
+
+// Evaluator evaluates formulas against a universe.
+type Evaluator struct {
+	U          *Universe
+	Opts       Options
+	regionVals map[string]value
+	faceVals   []value // lazily cached single-face cell values
+}
+
+// faceValue returns the cached value for face fi.
+func (ev *Evaluator) faceValue(fi int) value {
+	if ev.faceVals == nil {
+		ev.faceVals = make([]value, ev.U.nf)
+	}
+	if ev.faceVals[fi].set == nil {
+		ev.faceVals[fi] = ev.mkValue(ev.U.SingleFace(fi))
+	}
+	return ev.faceVals[fi]
+}
+
+// NewEvaluator returns an evaluator with default options.
+func NewEvaluator(u *Universe) *Evaluator {
+	return &Evaluator{U: u, Opts: DefaultOptions()}
+}
+
+// Eval evaluates a closed formula.
+func (ev *Evaluator) Eval(f Formula) (bool, error) {
+	return ev.eval(f, map[string]value{})
+}
+
+// EvalQuery parses and evaluates a query string.
+func (ev *Evaluator) EvalQuery(src string) (bool, error) {
+	f, err := Parse(src)
+	if err != nil {
+		return false, err
+	}
+	return ev.Eval(f)
+}
+
+func (ev *Evaluator) resolve(t Term, env map[string]value) (value, error) {
+	if v, ok := env[t.Name]; ok {
+		return v, nil
+	}
+	if set := ev.U.Region(t.Name); set != nil {
+		if ev.regionVals == nil {
+			ev.regionVals = map[string]value{}
+		}
+		v, ok := ev.regionVals[t.Name]
+		if !ok {
+			v = ev.mkValue(set)
+			ev.regionVals[t.Name] = v
+		}
+		return v, nil
+	}
+	return value{}, fmt.Errorf("folang: %q is neither a bound variable nor a region name", t.Name)
+}
+
+// coerce turns a name value into the extent of that name.
+func (ev *Evaluator) coerce(v value) (value, error) {
+	if !v.isName {
+		return v, nil
+	}
+	return ev.resolve(Term{Name: v.name}, nil)
+}
+
+func (ev *Evaluator) eval(f Formula, env map[string]value) (bool, error) {
+	switch f := f.(type) {
+	case Atom:
+		l, err := ev.resolve(f.L, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := ev.resolve(f.R, env)
+		if err != nil {
+			return false, err
+		}
+		// Name-valued variables coerce to their extents, mirroring the
+		// paper's ext(·) convention.
+		if l, err = ev.coerce(l); err != nil {
+			return false, err
+		}
+		if r, err = ev.coerce(r); err != nil {
+			return false, err
+		}
+		return ev.relation(f.Pred, l, r)
+	case NameEq:
+		l, err := ev.resolve(f.L, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := ev.resolve(f.R, env)
+		if err != nil {
+			return false, err
+		}
+		if l.isName && r.isName {
+			return l.name == r.name, nil
+		}
+		// ext(a) = ext(b) as sets.
+		if !l.isName && !r.isName {
+			return l.set.Equal(r.set), nil
+		}
+		return false, fmt.Errorf("folang: '=' needs two names or two regions")
+	case Not:
+		v, err := ev.eval(f.F, env)
+		return !v, err
+	case And:
+		l, err := ev.eval(f.L, env)
+		if err != nil || !l {
+			return false, err
+		}
+		return ev.eval(f.R, env)
+	case Or:
+		l, err := ev.eval(f.L, env)
+		if err != nil {
+			return false, err
+		}
+		if l {
+			return true, nil
+		}
+		return ev.eval(f.R, env)
+	case Implies:
+		l, err := ev.eval(f.L, env)
+		if err != nil {
+			return false, err
+		}
+		if !l {
+			return true, nil
+		}
+		return ev.eval(f.R, env)
+	case Quant:
+		return ev.quant(f, env)
+	}
+	return false, fmt.Errorf("folang: unknown formula %T", f)
+}
+
+func (ev *Evaluator) quant(q Quant, env map[string]value) (bool, error) {
+	test := func(v value) (bool, bool, error) { // (decided, result, err)
+		env[q.Var] = v
+		ok, err := ev.eval(q.F, env)
+		delete(env, q.Var)
+		if err != nil {
+			return true, false, err
+		}
+		if q.Exists && ok {
+			return true, true, nil
+		}
+		if !q.Exists && !ok {
+			return true, false, nil
+		}
+		return false, false, nil
+	}
+	switch q.Sort {
+	case SortName:
+		for _, n := range ev.U.A.Names {
+			done, res, err := test(value{isName: true, name: n})
+			if done || err != nil {
+				return res, err
+			}
+		}
+	case SortCell:
+		for fi := 0; fi < ev.U.nf; fi++ {
+			done, res, err := test(ev.faceValue(fi))
+			if done || err != nil {
+				return res, err
+			}
+		}
+	case SortRegion:
+		var decided bool
+		var result bool
+		var evalErr error
+		ev.U.EnumDiscRegions(ev.Opts.RegionEnumLimit, ev.Opts.MaxRegionFaces, func(faces []int) bool {
+			done, res, err := test(ev.mkValue(ev.U.RegularUnion(faces)))
+			if err != nil {
+				decided, evalErr = true, err
+				return false
+			}
+			if done {
+				decided, result = true, res
+				return false
+			}
+			return true
+		})
+		if evalErr != nil {
+			return false, evalErr
+		}
+		if decided {
+			return result, nil
+		}
+	}
+	// Domain exhausted without an early decision.
+	return !q.Exists, nil
+}
+
+// relation evaluates a binary predicate on two open cell sets using the
+// 4-intersection matrix over cells (interiors are the sets themselves,
+// boundaries are closure minus set).
+func (ev *Evaluator) relation(pred string, xv, yv value) (bool, error) {
+	x, y := xv.set, yv.set
+	switch pred {
+	case "connect":
+		return xv.clo.Intersects(yv.clo), nil
+	case "subset":
+		return x.SubsetOf(y), nil
+	}
+	bx, by := xv.boundary(), yv.boundary()
+	m := fourint.Matrix{
+		II: x.Intersects(y),
+		IB: x.Intersects(by),
+		BI: bx.Intersects(y),
+		BB: bx.Intersects(by),
+	}
+	switch pred {
+	case "disjoint":
+		return m == fourint.Matrix{}, nil
+	case "meet":
+		return m == fourint.Matrix{BB: true}, nil
+	case "equal":
+		return m == fourint.Matrix{II: true, BB: true} && x.Equal(y), nil
+	case "overlap":
+		return m == fourint.Matrix{II: true, IB: true, BI: true, BB: true}, nil
+	case "inside":
+		return m == fourint.Matrix{II: true, BI: true}, nil
+	case "contains":
+		return m == fourint.Matrix{II: true, IB: true}, nil
+	case "coveredby":
+		return m == fourint.Matrix{II: true, BI: true, BB: true}, nil
+	case "covers":
+		return m == fourint.Matrix{II: true, IB: true, BB: true}, nil
+	}
+	return false, fmt.Errorf("folang: unknown predicate %q", pred)
+}

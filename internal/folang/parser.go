@@ -1,0 +1,251 @@
+package folang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// Parse parses a query in the region-based language. Grammar:
+//
+//	formula  := quant | impl
+//	quant    := ("some"|"all") ("region"|"cell"|"name") IDENT ":" formula
+//	impl     := disj ("implies" impl)?
+//	disj     := conj ("or" conj)*
+//	conj     := unary ("and" unary)*
+//	unary    := "not" unary | "(" formula ")" | atom
+//	atom     := PRED "(" term "," term ")" | term "=" term
+//	term     := IDENT
+//
+// Example: some cell r: (subset(r, A) and subset(r, B)) and subset(r, C)
+func Parse(src string) (Formula, error) {
+	p := &parser{toks: lex(src)}
+	f, err := p.formula()
+	if err != nil {
+		return nil, err
+	}
+	if !p.eof() {
+		return nil, fmt.Errorf("folang: unexpected %q after formula", p.peek())
+	}
+	return f, nil
+}
+
+// MustParse is Parse that panics on error (tests and fixtures).
+func MustParse(src string) Formula {
+	f, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+var predicates = map[string]bool{
+	"disjoint": true, "meet": true, "equal": true, "overlap": true,
+	"inside": true, "contains": true, "covers": true, "coveredby": true,
+	"connect": true, "subset": true,
+}
+
+func lex(src string) []string {
+	var toks []string
+	i := 0
+	for i < len(src) {
+		c := rune(src[i])
+		switch {
+		case unicode.IsSpace(c):
+			i++
+		case strings.ContainsRune("(),:=", c):
+			toks = append(toks, string(c))
+			i++
+		case unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_':
+			j := i
+			for j < len(src) {
+				d := rune(src[j])
+				if !unicode.IsLetter(d) && !unicode.IsDigit(d) && d != '_' {
+					break
+				}
+				j++
+			}
+			toks = append(toks, src[i:j])
+			i = j
+		default:
+			toks = append(toks, string(c)) // will fail in parser
+			i++
+		}
+	}
+	return toks
+}
+
+type parser struct {
+	toks []string
+	pos  int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.toks) }
+
+func (p *parser) peek() string {
+	if p.eof() {
+		return ""
+	}
+	return p.toks[p.pos]
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(t string) error {
+	if p.peek() != t {
+		return fmt.Errorf("folang: expected %q, got %q", t, p.peek())
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) formula() (Formula, error) {
+	switch p.peek() {
+	case "some", "all":
+		exists := p.next() == "some"
+		var sort Sort
+		switch p.next() {
+		case "region":
+			sort = SortRegion
+		case "cell":
+			sort = SortCell
+		case "name":
+			sort = SortName
+		default:
+			return nil, fmt.Errorf("folang: expected sort after quantifier")
+		}
+		v := p.next()
+		if v == "" || !isIdent(v) {
+			return nil, fmt.Errorf("folang: expected variable, got %q", v)
+		}
+		if err := p.expect(":"); err != nil {
+			return nil, err
+		}
+		body, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		return Quant{Exists: exists, Sort: sort, Var: v, F: body}, nil
+	}
+	return p.impl()
+}
+
+func (p *parser) impl() (Formula, error) {
+	l, err := p.disj()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek() == "implies" {
+		p.next()
+		r, err := p.impl()
+		if err != nil {
+			return nil, err
+		}
+		return Implies{l, r}, nil
+	}
+	return l, nil
+}
+
+func (p *parser) disj() (Formula, error) {
+	l, err := p.conj()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "or" {
+		p.next()
+		r, err := p.conj()
+		if err != nil {
+			return nil, err
+		}
+		l = Or{l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) conj() (Formula, error) {
+	l, err := p.unary()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek() == "and" {
+		p.next()
+		r, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		l = And{l, r}
+	}
+	return l, nil
+}
+
+func (p *parser) unary() (Formula, error) {
+	switch p.peek() {
+	case "not":
+		p.next()
+		f, err := p.unary()
+		if err != nil {
+			return nil, err
+		}
+		return Not{f}, nil
+	case "(":
+		p.next()
+		f, err := p.formula()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return f, nil
+	case "some", "all":
+		return p.formula()
+	}
+	// atom
+	id := p.next()
+	if !isIdent(id) {
+		return nil, fmt.Errorf("folang: unexpected token %q", id)
+	}
+	if predicates[strings.ToLower(id)] && p.peek() == "(" {
+		p.next()
+		l := p.next()
+		if !isIdent(l) {
+			return nil, fmt.Errorf("folang: bad term %q", l)
+		}
+		if err := p.expect(","); err != nil {
+			return nil, err
+		}
+		r := p.next()
+		if !isIdent(r) {
+			return nil, fmt.Errorf("folang: bad term %q", r)
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return Atom{Pred: strings.ToLower(id), L: Term{l}, R: Term{r}}, nil
+	}
+	if p.peek() == "=" {
+		p.next()
+		r := p.next()
+		if !isIdent(r) {
+			return nil, fmt.Errorf("folang: bad term %q", r)
+		}
+		return NameEq{Term{id}, Term{r}}, nil
+	}
+	return nil, fmt.Errorf("folang: expected atom at %q", id)
+}
+
+func isIdent(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, c := range s {
+		if !unicode.IsLetter(c) && !unicode.IsDigit(c) && c != '_' {
+			return false
+		}
+	}
+	return true
+}

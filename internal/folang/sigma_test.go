@@ -1,0 +1,68 @@
+package folang
+
+import (
+	"testing"
+
+	"topodb/internal/region"
+	"topodb/internal/spatial"
+)
+
+// Proposition 5.1 / Theorem 5.6 (face-level fragment): the sentence
+// σ_{T_I} generated from an instance holds on that instance (and on any
+// homeomorphic copy) and separates the Fig 1 pairs.
+func TestSigmaTIDefinesClass(t *testing.T) {
+	eval := func(in *spatial.Instance, f Formula) bool {
+		u, err := NewUniverse(in, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := NewEvaluator(u).Eval(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ok
+	}
+	u1c, err := NewUniverse(spatial.Fig1c(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigmaC := SigmaTI(u1c)
+	if !eval(spatial.Fig1c(), sigmaC) {
+		t.Fatal("Fig1c must satisfy its own sigma")
+	}
+	if eval(spatial.Fig1d(), sigmaC) {
+		t.Fatal("Fig1d must not satisfy sigma of Fig1c")
+	}
+	// A homeomorphic (translated/scaled) copy satisfies sigma_C: genericity.
+	scaled := spatial.New()
+	for _, n := range spatial.Fig1c().Names() {
+		r, _ := spatial.Fig1c().Ext(n)
+		_ = r
+	}
+	// Build the scaled copy directly.
+	scaled = scaledFig1c()
+	if !eval(scaled, sigmaC) {
+		t.Fatal("scaled Fig1c must satisfy sigma of Fig1c (H-generic)")
+	}
+	// And the 1a/1b pair.
+	u1a, err := NewUniverse(spatial.Fig1a(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sigmaA := SigmaTI(u1a)
+	if !eval(spatial.Fig1a(), sigmaA) {
+		t.Fatal("Fig1a must satisfy its own sigma")
+	}
+	if eval(spatial.Fig1b(), sigmaA) {
+		t.Fatal("Fig1b must not satisfy sigma of Fig1a")
+	}
+}
+
+func scaledFig1c() *spatial.Instance {
+	in := spatial.New()
+	in.MustAdd("A", mustRectW(100, 100, 140, 140))
+	in.MustAdd("B", mustRectW(120, 120, 160, 160))
+	return in
+}
+
+func mustRectW(x1, y1, x2, y2 int64) region.Region { return region.MustRect(x1, y1, x2, y2) }

@@ -1,0 +1,382 @@
+// Package folang implements the paper's region-based first-order query
+// languages FO(Region, Region′) (§4): the closure of the 4-intersection
+// relations under boolean connectives and quantifiers that range over
+// regions. Quantification over all regions of the plane is undecidable
+// (Theorem 6.1), so evaluation uses the tractable semantics the paper
+// proposes in §7:
+//
+//   - "cell" quantifiers range over the 2-cells of the arrangement of the
+//     instance (optionally refined by a scaffold grid);
+//   - "region" quantifiers range over legitimate regions — open, bounded,
+//     connected, simply connected unions of cells (disc homeomorphs) — up
+//     to a configurable enumeration budget.
+//
+// The paper observes (§7) that this language separates Fig 1a/1b and
+// Fig 1c/1d, which Boolean combinations of the 4-intersection relations
+// cannot; the tests reproduce exactly that.
+package folang
+
+import (
+	"fmt"
+
+	"topodb/internal/arrange"
+	"topodb/internal/geom"
+	"topodb/internal/rat"
+	"topodb/internal/spatial"
+)
+
+// Universe is the evaluation context: an arrangement plus precomputed cell
+// closures and region extents as bitsets. Cell numbering: faces first, then
+// edges, then vertices.
+type Universe struct {
+	A  *arrange.Arrangement
+	In *spatial.Instance
+
+	nf, ne, nv int
+	closure    []Bits // closure of each cell
+	regions    map[string]Bits
+	faceBits   Bits // all face cells
+	exterior   int  // cell id of the exterior face
+
+	// faceAdj: faces sharing an edge (by face cell index).
+	faceAdj [][]int
+	// edgeBetween[e] lists the one or two faces incident to edge e.
+	edgeFaces [][]int
+	// vertCells[v] lists all edges and faces incident to vertex v.
+	vertCells [][]int
+}
+
+// CellID helpers.
+func (u *Universe) faceCell(i int) int { return i }
+func (u *Universe) edgeCell(i int) int { return u.nf + i }
+func (u *Universe) vertCell(i int) int { return u.nf + u.ne + i }
+
+// NumCells returns the total cell count.
+func (u *Universe) NumCells() int { return u.nf + u.ne + u.nv }
+
+// NumFaces returns the number of 2-cells.
+func (u *Universe) NumFaces() int { return u.nf }
+
+// GridScaffold returns k×k grid segments spanning the instance's bounding
+// box (inflated by one unit), used to refine the arrangement.
+func GridScaffold(in *spatial.Instance, k int) []geom.Seg {
+	if k <= 0 {
+		return nil
+	}
+	box, ok := in.Box()
+	if !ok {
+		return nil
+	}
+	minX, minY := box.MinX.Sub(rat.One), box.MinY.Sub(rat.One)
+	maxX, maxY := box.MaxX.Add(rat.One), box.MaxY.Add(rat.One)
+	w, h := maxX.Sub(minX), maxY.Sub(minY)
+	var segs []geom.Seg
+	// Include the border lines (i = 0 and i = k): without a closed frame
+	// the rim cells leak into the unbounded face and every bounded cell
+	// can end up touching every region.
+	for i := 0; i <= k; i++ {
+		t := rat.FromFrac(int64(i), int64(k))
+		x := minX.Add(w.Mul(t))
+		y := minY.Add(h.Mul(t))
+		segs = append(segs,
+			geom.Seg{A: geom.Pt{X: x, Y: minY}, B: geom.Pt{X: x, Y: maxY}},
+			geom.Seg{A: geom.Pt{X: minX, Y: y}, B: geom.Pt{X: maxX, Y: y}},
+		)
+	}
+	return segs
+}
+
+// NewUniverse builds the evaluation context for an instance; refine > 0
+// overlays a refine×refine scaffold grid for finer region quantification.
+func NewUniverse(in *spatial.Instance, refine int) (*Universe, error) {
+	a, err := arrange.BuildWithScaffold(in, GridScaffold(in, refine))
+	if err != nil {
+		return nil, err
+	}
+	return newUniverseFrom(a, in)
+}
+
+func newUniverseFrom(a *arrange.Arrangement, in *spatial.Instance) (*Universe, error) {
+	u := &Universe{
+		A: a, In: in,
+		nf: len(a.Faces), ne: len(a.Edges), nv: len(a.Verts),
+		regions: make(map[string]Bits),
+	}
+	n := u.NumCells()
+	u.exterior = u.faceCell(a.Exterior)
+	u.faceBits = NewBits(n)
+	for i := range a.Faces {
+		u.faceBits.Set(u.faceCell(i))
+	}
+
+	// Closures. A face's closure adds its boundary edges and their
+	// endpoints; an edge's closure adds its endpoints.
+	u.closure = make([]Bits, n)
+	for i := 0; i < n; i++ {
+		u.closure[i] = NewBits(n)
+		u.closure[i].Set(i)
+	}
+	u.edgeFaces = make([][]int, u.ne)
+	u.vertCells = make([][]int, u.nv)
+	addEdgeToFace := func(f, e int) {
+		fc, ec := u.faceCell(f), u.edgeCell(e)
+		if !u.closure[fc].Has(ec) {
+			u.closure[fc].Set(ec)
+			u.edgeFaces[e] = append(u.edgeFaces[e], f)
+		}
+	}
+	for fi, f := range a.Faces {
+		for _, w := range f.Walks {
+			for _, h := range a.WalkHalfEdges(w) {
+				addEdgeToFace(fi, a.Half[h].Edge)
+			}
+		}
+	}
+	for ei, e := range a.Edges {
+		ec := u.edgeCell(ei)
+		for _, v := range []int{e.V1, e.V2} {
+			vc := u.vertCell(v)
+			u.closure[ec].Set(vc)
+			u.vertCells[v] = append(u.vertCells[v], ec)
+		}
+		// Faces also close over the edge's endpoints.
+		for _, f := range u.edgeFaces[ei] {
+			u.closure[u.faceCell(f)].Set(u.vertCell(e.V1))
+			u.closure[u.faceCell(f)].Set(u.vertCell(e.V2))
+		}
+	}
+	// Record face cells incident to each vertex (for openness checks).
+	for vi := range a.Verts {
+		for fi := range a.Faces {
+			if u.closure[u.faceCell(fi)].Has(u.vertCell(vi)) {
+				u.vertCells[vi] = append(u.vertCells[vi], u.faceCell(fi))
+			}
+		}
+	}
+
+	// Face adjacency via shared edges.
+	u.faceAdj = make([][]int, u.nf)
+	for ei := range a.Edges {
+		fs := u.edgeFaces[ei]
+		if len(fs) == 2 && fs[0] != fs[1] {
+			u.faceAdj[fs[0]] = append(u.faceAdj[fs[0]], fs[1])
+			u.faceAdj[fs[1]] = append(u.faceAdj[fs[1]], fs[0])
+		}
+	}
+
+	// Region extents: the open set of cells labeled Interior.
+	for ri, name := range a.Names {
+		bs := NewBits(n)
+		for fi, f := range a.Faces {
+			if f.Label[ri] == arrange.Interior {
+				bs.Set(u.faceCell(fi))
+			}
+		}
+		for ei, e := range a.Edges {
+			if e.Label[ri] == arrange.Interior {
+				bs.Set(u.edgeCell(ei))
+			}
+		}
+		for vi, v := range a.Verts {
+			if v.Label[ri] == arrange.Interior {
+				bs.Set(u.vertCell(vi))
+			}
+		}
+		u.regions[name] = bs
+	}
+	return u, nil
+}
+
+// Region returns the cell-set extent of a named region, or nil.
+func (u *Universe) Region(name string) Bits { return u.regions[name] }
+
+// ClosureOf returns the topological closure of a cell set.
+func (u *Universe) ClosureOf(b Bits) Bits {
+	out := NewBits(u.NumCells())
+	for i := 0; i < u.NumCells(); i++ {
+		if b.Has(i) {
+			out.Or(u.closure[i])
+		}
+	}
+	return out
+}
+
+// BoundaryOf returns the boundary of an open cell set (closure minus the
+// set itself).
+func (u *Universe) BoundaryOf(b Bits) Bits {
+	out := u.ClosureOf(b)
+	out.AndNot(b)
+	return out
+}
+
+// SingleFace returns the cell set containing just face fi.
+func (u *Universe) SingleFace(fi int) Bits {
+	b := NewBits(u.NumCells())
+	b.Set(u.faceCell(fi))
+	return b
+}
+
+// RegularUnion returns the maximal open cell set whose faces are exactly
+// the given face set: the faces plus every edge both of whose incident
+// faces are included plus every vertex all of whose incident cells are
+// included.
+func (u *Universe) RegularUnion(faces []int) Bits {
+	b := NewBits(u.NumCells())
+	inFace := make(map[int]bool, len(faces))
+	for _, f := range faces {
+		b.Set(u.faceCell(f))
+		inFace[f] = true
+	}
+	for ei := range u.edgeFaces {
+		fs := u.edgeFaces[ei]
+		if len(fs) == 2 && inFace[fs[0]] && inFace[fs[1]] {
+			b.Set(u.edgeCell(ei))
+		}
+		if len(fs) == 1 && inFace[fs[0]] {
+			// A bridge edge inside the face set: including it keeps the
+			// set open (both sides are the same face).
+			b.Set(u.edgeCell(ei))
+		}
+	}
+	for vi := range u.vertCells {
+		all := true
+		for _, c := range u.vertCells[vi] {
+			if !b.Has(c) {
+				all = false
+				break
+			}
+		}
+		if all && len(u.vertCells[vi]) > 0 {
+			b.Set(u.vertCell(vi))
+		}
+	}
+	return b
+}
+
+// IsDiscRegion reports whether the face set induces a legitimate region:
+// bounded, edge-connected, and simply connected (complement faces
+// connected, including the exterior face).
+func (u *Universe) IsDiscRegion(faces []int) bool {
+	if len(faces) == 0 {
+		return false
+	}
+	in := make(map[int]bool, len(faces))
+	for _, f := range faces {
+		if f == u.A.Exterior {
+			return false // unbounded
+		}
+		in[f] = true
+	}
+	// Connectivity of the face set.
+	if !u.facesConnected(faces, in, true) {
+		return false
+	}
+	// Complement connectivity.
+	var comp []int
+	out := make(map[int]bool)
+	for fi := 0; fi < u.nf; fi++ {
+		if !in[fi] {
+			comp = append(comp, fi)
+			out[fi] = true
+		}
+	}
+	if len(comp) == 0 {
+		return false
+	}
+	return u.facesConnected(comp, out, true)
+}
+
+func (u *Universe) facesConnected(faces []int, in map[int]bool, _ bool) bool {
+	seen := map[int]bool{faces[0]: true}
+	stack := []int{faces[0]}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, g := range u.faceAdj[f] {
+			if in[g] && !seen[g] {
+				seen[g] = true
+				stack = append(stack, g)
+			}
+		}
+	}
+	return len(seen) == len(faces)
+}
+
+// EnumDiscRegions enumerates legitimate regions (as face index slices) in
+// nondecreasing size (iterative deepening, so small witnesses are found
+// first), calling yield for each; enumeration stops when yield returns
+// false or when limit candidate subsets have been examined. maxFaces caps
+// the region size (0 = all bounded faces).
+func (u *Universe) EnumDiscRegions(limit, maxFaces int, yield func(faces []int) bool) {
+	bounded := make([]int, 0, u.nf)
+	for fi := 0; fi < u.nf; fi++ {
+		if fi != u.A.Exterior {
+			bounded = append(bounded, fi)
+		}
+	}
+	if maxFaces <= 0 || maxFaces > len(bounded) {
+		maxFaces = len(bounded)
+	}
+	produced := 0
+	// Enumerate connected subsets of exactly the target size via the
+	// classic extension scheme with a canonical root (the minimum face).
+	for size := 1; size <= maxFaces; size++ {
+		var rec func(cur []int, inCur, banned map[int]bool, frontier []int) bool
+		rec = func(cur []int, inCur, banned map[int]bool, frontier []int) bool {
+			if len(cur) == size {
+				produced++
+				if u.IsDiscRegion(cur) {
+					if !yield(append([]int(nil), cur...)) {
+						return false
+					}
+				}
+				return produced < limit
+			}
+			localBan := []int{}
+			ok := true
+			for idx := 0; idx < len(frontier) && ok; idx++ {
+				f := frontier[idx]
+				if banned[f] || inCur[f] {
+					continue
+				}
+				inCur[f] = true
+				cur = append(cur, f)
+				ext := append([]int(nil), frontier[idx+1:]...)
+				for _, g := range u.faceAdj[f] {
+					if !inCur[g] && !banned[g] && g != u.A.Exterior {
+						ext = append(ext, g)
+					}
+				}
+				ok = rec(cur, inCur, banned, ext)
+				cur = cur[:len(cur)-1]
+				delete(inCur, f)
+				banned[f] = true
+				localBan = append(localBan, f)
+			}
+			for _, f := range localBan {
+				delete(banned, f)
+			}
+			return ok
+		}
+		for i, root := range bounded {
+			banned := map[int]bool{}
+			for _, earlier := range bounded[:i] {
+				banned[earlier] = true
+			}
+			var frontier []int
+			for _, g := range u.faceAdj[root] {
+				if !banned[g] && g != u.A.Exterior {
+					frontier = append(frontier, g)
+				}
+			}
+			if !rec([]int{root}, map[int]bool{root: true}, banned, frontier) {
+				return
+			}
+		}
+	}
+}
+
+// String summarizes the universe.
+func (u *Universe) String() string {
+	return fmt.Sprintf("universe: %d faces, %d edges, %d vertices", u.nf, u.ne, u.nv)
+}

@@ -1,0 +1,202 @@
+// Package fourint implements Egenhofer's 4-intersection topological
+// relations between pairs of regions (§2 of the paper, Fig 2): the eight
+// mutually exclusive relations — disjoint, meet, equal, overlap, inside,
+// contains, covers, coveredBy — derived from the emptiness pattern of the
+// four sets A°∩B°, A°∩∂B, ∂A∩B°, ∂A∩∂B.
+//
+// The relations are computed exactly from the planar arrangement: the four
+// intersections are nonempty iff suitable labeled cells exist, so the
+// classification inherits the arrangement's exactness.
+package fourint
+
+import (
+	"fmt"
+
+	"topodb/internal/arrange"
+	"topodb/internal/spatial"
+)
+
+// Relation is one of the eight 4-intersection relations.
+type Relation int
+
+const (
+	Disjoint Relation = iota
+	Meet
+	Equal
+	Overlap
+	Inside    // A inside B (A ⊂ B°, boundaries disjoint)
+	Contains  // B inside A
+	CoveredBy // A ⊆ B, boundaries share points
+	Covers    // B ⊆ A, boundaries share points
+)
+
+var relNames = [...]string{
+	"disjoint", "meet", "equal", "overlap",
+	"inside", "contains", "coveredBy", "covers",
+}
+
+func (r Relation) String() string {
+	if r < 0 || int(r) >= len(relNames) {
+		return "?"
+	}
+	return relNames[r]
+}
+
+// Inverse returns the relation of (B, A) given that of (A, B).
+func (r Relation) Inverse() Relation {
+	switch r {
+	case Inside:
+		return Contains
+	case Contains:
+		return Inside
+	case CoveredBy:
+		return Covers
+	case Covers:
+		return CoveredBy
+	}
+	return r
+}
+
+// Matrix is the 4-intersection emptiness pattern.
+type Matrix struct {
+	II bool // A° ∩ B° nonempty
+	IB bool // A° ∩ ∂B nonempty
+	BI bool // ∂A ∩ B° nonempty
+	BB bool // ∂A ∩ ∂B nonempty
+}
+
+// String renders the matrix as the paper's 2x2 pattern, e.g. "¬∅ ∅ / ∅ ¬∅".
+func (m Matrix) String() string {
+	f := func(b bool) string {
+		if b {
+			return "¬∅"
+		}
+		return "∅"
+	}
+	return fmt.Sprintf("[%s %s; %s %s]", f(m.II), f(m.IB), f(m.BI), f(m.BB))
+}
+
+// Classify maps an emptiness matrix to its relation. Only 8 of the 16
+// patterns are realizable for discs (§2); unrealizable patterns return an
+// error.
+func Classify(m Matrix) (Relation, error) {
+	switch m {
+	case Matrix{false, false, false, false}:
+		return Disjoint, nil
+	case Matrix{false, false, false, true}:
+		return Meet, nil
+	case Matrix{true, false, false, true}:
+		return Equal, nil
+	case Matrix{true, true, true, true}:
+		return Overlap, nil
+	case Matrix{true, false, true, false}:
+		return Inside, nil
+	case Matrix{true, true, false, false}:
+		return Contains, nil
+	case Matrix{true, false, true, true}:
+		return CoveredBy, nil
+	case Matrix{true, true, false, true}:
+		return Covers, nil
+	}
+	return 0, fmt.Errorf("fourint: matrix %s is not realizable for discs", m)
+}
+
+// MatrixOf computes the 4-intersection matrix of regions i and j from an
+// arrangement containing both.
+func MatrixOf(a *arrange.Arrangement, i, j int) Matrix {
+	var m Matrix
+	for _, f := range a.Faces {
+		if f.Label[i] == arrange.Interior && f.Label[j] == arrange.Interior {
+			m.II = true
+		}
+	}
+	for _, e := range a.Edges {
+		li, lj := e.Label[i], e.Label[j]
+		if li == arrange.Interior && lj == arrange.Boundary {
+			m.IB = true
+		}
+		if li == arrange.Boundary && lj == arrange.Interior {
+			m.BI = true
+		}
+		if li == arrange.Boundary && lj == arrange.Boundary {
+			m.BB = true
+		}
+	}
+	for _, v := range a.Verts {
+		if v.Label[i] == arrange.Boundary && v.Label[j] == arrange.Boundary {
+			m.BB = true
+		}
+	}
+	return m
+}
+
+// Relate classifies the relation between two named regions of an instance.
+func Relate(in *spatial.Instance, nameA, nameB string) (Relation, error) {
+	sub := spatial.New()
+	ra, ok := in.Ext(nameA)
+	if !ok {
+		return 0, fmt.Errorf("fourint: no region %q", nameA)
+	}
+	rb, ok := in.Ext(nameB)
+	if !ok {
+		return 0, fmt.Errorf("fourint: no region %q", nameB)
+	}
+	if err := sub.Add(nameA, ra); err != nil {
+		return 0, err
+	}
+	if err := sub.Add(nameB, rb); err != nil {
+		return 0, err
+	}
+	a, err := arrange.Build(sub)
+	if err != nil {
+		return 0, err
+	}
+	return Classify(MatrixOf(a, a.RegionIndex(nameA), a.RegionIndex(nameB)))
+}
+
+// AllPairs computes the relation for every ordered pair of distinct region
+// names from a single arrangement of the full instance.
+func AllPairs(in *spatial.Instance) (map[[2]string]Relation, error) {
+	a, err := arrange.Build(in)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[[2]string]Relation)
+	names := a.Names
+	for i := 0; i < len(names); i++ {
+		for j := 0; j < len(names); j++ {
+			if i == j {
+				continue
+			}
+			rel, err := Classify(MatrixOf(a, i, j))
+			if err != nil {
+				return nil, fmt.Errorf("fourint: %s vs %s: %w", names[i], names[j], err)
+			}
+			out[[2]string{names[i], names[j]}] = rel
+		}
+	}
+	return out, nil
+}
+
+// EquivalentInstances reports whether two instances over the same names are
+// 4-intersection equivalent (§2): every pair of regions stands in the same
+// relation in both.
+func EquivalentInstances(a, b *spatial.Instance) (bool, error) {
+	if !a.SameNames(b) {
+		return false, nil
+	}
+	ra, err := AllPairs(a)
+	if err != nil {
+		return false, err
+	}
+	rb, err := AllPairs(b)
+	if err != nil {
+		return false, err
+	}
+	for k, v := range ra {
+		if rb[k] != v {
+			return false, nil
+		}
+	}
+	return true, nil
+}

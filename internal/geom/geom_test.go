@@ -1,0 +1,329 @@
+package geom
+
+import (
+	"testing"
+	"testing/quick"
+
+	"topodb/internal/rat"
+)
+
+func TestOrient(t *testing.T) {
+	a, b := P(0, 0), P(4, 0)
+	if Orient(a, b, P(2, 1)) != 1 {
+		t.Error("left point should be CCW")
+	}
+	if Orient(a, b, P(2, -1)) != -1 {
+		t.Error("right point should be CW")
+	}
+	if Orient(a, b, P(9, 0)) != 0 {
+		t.Error("collinear point should be 0")
+	}
+}
+
+func TestOnSegment(t *testing.T) {
+	a, b := P(0, 0), P(4, 4)
+	cases := []struct {
+		p    Pt
+		want bool
+	}{
+		{P(2, 2), true},
+		{P(0, 0), true},
+		{P(4, 4), true},
+		{P(5, 5), false},
+		{P(-1, -1), false},
+		{P(2, 3), false},
+		{PFrac(1, 2, 1, 2), true},
+	}
+	for _, c := range cases {
+		if got := OnSegment(c.p, a, b); got != c.want {
+			t.Errorf("OnSegment(%s) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestIntersectProper(t *testing.T) {
+	s := Seg{P(0, 0), P(4, 4)}
+	u := Seg{P(0, 4), P(4, 0)}
+	got := Intersect(s, u)
+	if got.Kind != PointIntersection || !got.P.Equal(P(2, 2)) {
+		t.Fatalf("got %+v, want point (2,2)", got)
+	}
+}
+
+func TestIntersectAtEndpoint(t *testing.T) {
+	s := Seg{P(0, 0), P(2, 2)}
+	u := Seg{P(2, 2), P(4, 0)}
+	got := Intersect(s, u)
+	if got.Kind != PointIntersection || !got.P.Equal(P(2, 2)) {
+		t.Fatalf("endpoint touch: got %+v", got)
+	}
+}
+
+func TestIntersectTJunction(t *testing.T) {
+	s := Seg{P(0, 0), P(4, 0)}
+	u := Seg{P(2, -1), P(2, 3)}
+	got := Intersect(s, u)
+	if got.Kind != PointIntersection || !got.P.Equal(P(2, 0)) {
+		t.Fatalf("T junction: got %+v", got)
+	}
+}
+
+func TestIntersectDisjoint(t *testing.T) {
+	s := Seg{P(0, 0), P(1, 0)}
+	u := Seg{P(0, 1), P(1, 1)}
+	if got := Intersect(s, u); got.Kind != NoIntersection {
+		t.Fatalf("parallel disjoint: got %+v", got)
+	}
+	u2 := Seg{P(2, 0), P(3, 0)}
+	if got := Intersect(s, u2); got.Kind != NoIntersection {
+		t.Fatalf("collinear disjoint: got %+v", got)
+	}
+	// Near miss: lines cross but outside the segments.
+	u3 := Seg{P(5, -1), P(5, 1)}
+	if got := Intersect(s, u3); got.Kind != NoIntersection {
+		t.Fatalf("near miss: got %+v", got)
+	}
+}
+
+func TestIntersectOverlap(t *testing.T) {
+	s := Seg{P(0, 0), P(4, 0)}
+	u := Seg{P(2, 0), P(6, 0)}
+	got := Intersect(s, u)
+	if got.Kind != OverlapIntersection || !got.P.Equal(P(2, 0)) || !got.Q.Equal(P(4, 0)) {
+		t.Fatalf("overlap: got %+v", got)
+	}
+	// Touching collinear at a single point.
+	u2 := Seg{P(4, 0), P(8, 0)}
+	got2 := Intersect(s, u2)
+	if got2.Kind != PointIntersection || !got2.P.Equal(P(4, 0)) {
+		t.Fatalf("collinear touch: got %+v", got2)
+	}
+	// Containment.
+	u3 := Seg{P(1, 0), P(2, 0)}
+	got3 := Intersect(s, u3)
+	if got3.Kind != OverlapIntersection || !got3.P.Equal(P(1, 0)) || !got3.Q.Equal(P(2, 0)) {
+		t.Fatalf("containment: got %+v", got3)
+	}
+	// Reversed orientation overlap.
+	u4 := Seg{P(6, 0), P(2, 0)}
+	got4 := Intersect(s, u4)
+	if got4.Kind != OverlapIntersection {
+		t.Fatalf("reversed overlap: got %+v", got4)
+	}
+}
+
+func TestIntersectRationalPoint(t *testing.T) {
+	s := Seg{P(0, 0), P(3, 1)}
+	u := Seg{P(0, 1), P(3, 0)}
+	got := Intersect(s, u)
+	want := PFrac(3, 2, 1, 2)
+	if got.Kind != PointIntersection || !got.P.Equal(want) {
+		t.Fatalf("got %+v, want %s", got, want)
+	}
+}
+
+// Property: Intersect is symmetric and agrees with OnSegment on results.
+func TestQuickIntersectSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy, dx, dy int8) bool {
+		s := Seg{P(int64(ax), int64(ay)), P(int64(bx), int64(by))}
+		u := Seg{P(int64(cx), int64(cy)), P(int64(dx), int64(dy))}
+		if s.IsDegenerate() || u.IsDegenerate() {
+			return true
+		}
+		r1 := Intersect(s, u)
+		r2 := Intersect(u, s)
+		if r1.Kind != r2.Kind {
+			return false
+		}
+		if r1.Kind == PointIntersection {
+			if !r1.P.Equal(r2.P) {
+				return false
+			}
+			return s.Contains(r1.P) && u.Contains(r1.P)
+		}
+		if r1.Kind == OverlapIntersection {
+			return s.Contains(r1.P) && s.Contains(r1.Q) && u.Contains(r1.P) && u.Contains(r1.Q)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAngleOrder(t *testing.T) {
+	// Directions in CCW order starting from +x.
+	dirs := []Pt{P(1, 0), P(2, 1), P(0, 1), P(-1, 1), P(-1, 0), P(-1, -1), P(0, -1), P(1, -1)}
+	for i := range dirs {
+		for j := range dirs {
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got := AngleCmp(dirs[i], dirs[j]); got != want {
+				t.Errorf("AngleCmp(%s,%s) = %d, want %d", dirs[i], dirs[j], got, want)
+			}
+		}
+	}
+	if AngleCmp(P(1, 1), P(2, 2)) != 0 {
+		t.Error("same direction should compare equal")
+	}
+	if !AngleLess(P(1, 0), P(0, 1)) || AngleLess(P(0, 1), P(1, 0)) {
+		t.Error("AngleLess inconsistent")
+	}
+}
+
+func TestBox(t *testing.T) {
+	b := BoxOf(P(1, 2), P(-1, 5), P(3, 0))
+	if !b.MinX.Equal(rat.FromInt(-1)) || !b.MaxY.Equal(rat.FromInt(5)) {
+		t.Fatalf("BoxOf wrong: %+v", b)
+	}
+	if !b.ContainsPt(P(0, 3)) || b.ContainsPt(P(4, 3)) {
+		t.Error("ContainsPt wrong")
+	}
+	c := BoxOf(P(3, 0), P(4, 1))
+	if !b.Intersects(c) {
+		t.Error("touching boxes should intersect")
+	}
+	d := BoxOf(P(10, 10), P(11, 11))
+	if b.Intersects(d) {
+		t.Error("distant boxes should not intersect")
+	}
+	u := b.Union(d)
+	if !u.MaxX.Equal(rat.FromInt(11)) {
+		t.Error("Union wrong")
+	}
+}
+
+func TestRingAreaAndOrientation(t *testing.T) {
+	sq := Ring{P(0, 0), P(2, 0), P(2, 2), P(0, 2)}
+	if !sq.SignedArea2().Equal(rat.FromInt(8)) {
+		t.Fatalf("area2 = %s", sq.SignedArea2())
+	}
+	if !sq.IsCCW() {
+		t.Error("CCW square reported CW")
+	}
+	if sq.Reverse().IsCCW() {
+		t.Error("reversed square should be CW")
+	}
+}
+
+func TestRingValidate(t *testing.T) {
+	good := Ring{P(0, 0), P(4, 0), P(4, 4), P(0, 4)}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid square rejected: %v", err)
+	}
+	bowtie := Ring{P(0, 0), P(4, 4), P(4, 0), P(0, 4)}
+	if err := bowtie.Validate(); err == nil {
+		t.Error("bowtie accepted")
+	}
+	dup := Ring{P(0, 0), P(4, 0), P(0, 0), P(0, 4)}
+	if err := dup.Validate(); err == nil {
+		t.Error("duplicate vertex accepted")
+	}
+	tiny := Ring{P(0, 0), P(1, 0)}
+	if err := tiny.Validate(); err == nil {
+		t.Error("2-gon accepted")
+	}
+	concave := Ring{P(0, 0), P(6, 0), P(6, 6), P(3, 2), P(0, 6)}
+	if err := concave.Validate(); err != nil {
+		t.Errorf("valid concave polygon rejected: %v", err)
+	}
+}
+
+func TestRingContains(t *testing.T) {
+	sq := Ring{P(0, 0), P(4, 0), P(4, 4), P(0, 4)}
+	cases := []struct {
+		p    Pt
+		want PointLocation
+	}{
+		{P(2, 2), Inside},
+		{P(0, 0), OnBoundary},
+		{P(2, 0), OnBoundary},
+		{P(4, 2), OnBoundary},
+		{P(5, 2), Outside},
+		{P(-1, 2), Outside},
+		{P(2, 5), Outside},
+		{PFrac(1, 3, 1, 7), Inside},
+	}
+	for _, c := range cases {
+		if got := RingContains(sq, c.p); got != c.want {
+			t.Errorf("RingContains(%s) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestRingContainsConcave(t *testing.T) {
+	// Arrow-like concave polygon.
+	r := Ring{P(0, 0), P(6, 0), P(6, 6), P(3, 2), P(0, 6)}
+	if got := RingContains(r, P(3, 4)); got != Outside {
+		t.Errorf("notch point: got %v, want outside", got)
+	}
+	if got := RingContains(r, P(1, 1)); got != Inside {
+		t.Errorf("interior: got %v", got)
+	}
+	if got := RingContains(r, P(3, 2)); got != OnBoundary {
+		t.Errorf("reflex vertex: got %v", got)
+	}
+}
+
+// Property: a point strictly inside the bounding box classification is
+// consistent under ring reversal.
+func TestQuickRingContainsReversalInvariant(t *testing.T) {
+	sq := Ring{P(0, 0), P(10, 0), P(10, 10), P(0, 10)}
+	rev := sq.Reverse()
+	f := func(xn, yn int16) bool {
+		p := Pt{rat.FromFrac(int64(xn), 7), rat.FromFrac(int64(yn), 7)}
+		return RingContains(sq, p) == RingContains(rev, p)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCanonicalize(t *testing.T) {
+	r := Ring{P(2, 2), P(0, 2), P(0, 0), P(2, 0)}
+	c := r.Canonicalize()
+	if !c[0].Equal(P(0, 0)) {
+		t.Fatalf("canonical first vertex = %s", c[0])
+	}
+	if len(c) != 4 {
+		t.Fatal("length changed")
+	}
+}
+
+func TestLerpMid(t *testing.T) {
+	a, b := P(0, 0), P(4, 8)
+	if !Mid(a, b).Equal(P(2, 4)) {
+		t.Error("Mid wrong")
+	}
+	if !Lerp(a, b, rat.FromFrac(1, 4)).Equal(P(1, 2)) {
+		t.Error("Lerp wrong")
+	}
+}
+
+func BenchmarkOrient(b *testing.B) {
+	p, q, r := P(0, 0), P(1000, 1), P(500, 250)
+	for i := 0; i < b.N; i++ {
+		_ = Orient(p, q, r)
+	}
+}
+
+func BenchmarkIntersect(b *testing.B) {
+	s := Seg{P(0, 0), P(100, 37)}
+	u := Seg{P(0, 37), P(100, 0)}
+	for i := 0; i < b.N; i++ {
+		_ = Intersect(s, u)
+	}
+}
+
+func BenchmarkRingContains(b *testing.B) {
+	r := Ring{P(0, 0), P(100, 0), P(100, 100), P(0, 100), P(50, 50)}
+	p := P(25, 60)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = RingContains(r, p)
+	}
+}

@@ -1,0 +1,314 @@
+// Package infer implements topological inference over the 4-intersection
+// relations — the satisfiability problem for the existential fragment of
+// the paper's region-based languages applied to the empty database
+// ([GPP95], and the paper's §6 discussion of Σ1(Rect*, ∅) and the string
+// graph problem, Prop 6.2).
+//
+// A constraint network assigns to each pair of region variables a set of
+// admissible 4-intersection relations. The solver applies path consistency
+// with the standard composition table for the eight relations, a sound
+// (and, for many practical networks, complete) pruning procedure; full
+// satisfiability is NP-hard (Corollary 6.3), so path consistency is the
+// polynomial-time workhorse, with optional exhaustive scenario search for
+// small networks.
+package infer
+
+import (
+	"fmt"
+
+	"topodb/internal/fourint"
+)
+
+// RelSet is a bitmask over the eight relations.
+type RelSet uint16
+
+// All is the set of all eight relations.
+const All RelSet = (1 << 8) - 1
+
+// S builds a RelSet from relations.
+func S(rels ...fourint.Relation) RelSet {
+	var s RelSet
+	for _, r := range rels {
+		s |= 1 << uint(r)
+	}
+	return s
+}
+
+// Has reports membership.
+func (s RelSet) Has(r fourint.Relation) bool { return s&(1<<uint(r)) != 0 }
+
+// Empty reports whether the set is empty (an inconsistent constraint).
+func (s RelSet) Empty() bool { return s == 0 }
+
+// Count returns the number of relations in the set.
+func (s RelSet) Count() int {
+	n := 0
+	for s != 0 {
+		s &= s - 1
+		n++
+	}
+	return n
+}
+
+// Inverse returns the converse set {r⁻¹ : r ∈ s}.
+func (s RelSet) Inverse() RelSet {
+	var out RelSet
+	for r := fourint.Relation(0); r < 8; r++ {
+		if s.Has(r) {
+			out |= 1 << uint(r.Inverse())
+		}
+	}
+	return out
+}
+
+// String lists the member relations.
+func (s RelSet) String() string {
+	if s.Empty() {
+		return "∅"
+	}
+	out := ""
+	for r := fourint.Relation(0); r < 8; r++ {
+		if s.Has(r) {
+			if out != "" {
+				out += "|"
+			}
+			out += r.String()
+		}
+	}
+	return out
+}
+
+// compose is the 8×8 composition table: compose[r1][r2] is the set of
+// possible relations between A and C given r1(A,B) and r2(B,C). The table
+// below is the standard topological composition table for simple regions
+// (Egenhofer's 8 relations / RCC8 restricted to discs).
+var compose [8][8]RelSet
+
+func init() {
+	D, M, E, O := fourint.Disjoint, fourint.Meet, fourint.Equal, fourint.Overlap
+	In, Ct, Cb, Cv := fourint.Inside, fourint.Contains, fourint.CoveredBy, fourint.Covers
+	all := All
+	set := func(a, b fourint.Relation, s RelSet) { compose[a][b] = s }
+
+	// Rows follow the RCC8 composition table with the mapping
+	// DC=disjoint, EC=meet, PO=overlap, EQ=equal, TPP=coveredBy,
+	// NTPP=inside, TPPi=covers, NTPPi=contains.
+	set(D, D, all)
+	set(D, M, S(D, M, O, Cb, In))
+	set(D, O, S(D, M, O, Cb, In))
+	set(D, Cb, S(D, M, O, Cb, In))
+	set(D, In, S(D, M, O, Cb, In))
+	set(D, Cv, S(D))
+	set(D, Ct, S(D))
+	set(D, E, S(D))
+
+	set(M, D, S(D, M, O, Cv, Ct))
+	set(M, M, S(D, M, O, Cb, E, Cv))
+	set(M, O, S(D, M, O, Cb, In))
+	set(M, Cb, S(M, O, Cb, In))
+	set(M, In, S(O, Cb, In))
+	set(M, Cv, S(D, M))
+	set(M, Ct, S(D))
+	set(M, E, S(M))
+
+	set(O, D, S(D, M, O, Cv, Ct))
+	set(O, M, S(D, M, O, Cv, Ct))
+	set(O, O, all)
+	set(O, Cb, S(O, Cb, In))
+	set(O, In, S(O, Cb, In))
+	set(O, Cv, S(D, M, O, Cv, Ct))
+	set(O, Ct, S(D, M, O, Cv, Ct))
+	set(O, E, S(O))
+
+	set(Cb, D, S(D))
+	set(Cb, M, S(D, M))
+	set(Cb, O, S(D, M, O, Cb, In))
+	set(Cb, Cb, S(Cb, In))
+	set(Cb, In, S(In))
+	set(Cb, Cv, S(D, M, O, Cb, E, Cv))
+	set(Cb, Ct, S(D, M, O, Cv, Ct))
+	set(Cb, E, S(Cb))
+
+	set(In, D, S(D))
+	set(In, M, S(D))
+	set(In, O, S(D, M, O, Cb, In))
+	set(In, Cb, S(In))
+	set(In, In, S(In))
+	set(In, Cv, S(D, M, O, Cb, In))
+	set(In, Ct, all)
+	set(In, E, S(In))
+
+	set(Cv, D, S(D, M, O, Cv, Ct))
+	set(Cv, M, S(M, O, Cv, Ct))
+	set(Cv, O, S(O, Cv, Ct))
+	set(Cv, Cb, S(O, Cb, E, Cv))
+	set(Cv, In, S(O, Cb, In))
+	set(Cv, Cv, S(Cv, Ct))
+	set(Cv, Ct, S(Ct))
+	set(Cv, E, S(Cv))
+
+	set(Ct, D, S(D, M, O, Cv, Ct))
+	set(Ct, M, S(O, Cv, Ct))
+	set(Ct, O, S(O, Cv, Ct))
+	set(Ct, Cb, S(O, Cv, Ct))
+	set(Ct, In, S(O, Cb, In, E, Cv, Ct))
+	set(Ct, Cv, S(Ct))
+	set(Ct, Ct, S(Ct))
+	set(Ct, E, S(Ct))
+
+	for r := fourint.Relation(0); r < 8; r++ {
+		set(E, r, S(r))
+	}
+}
+
+// Compose returns the composition of two relation sets.
+func Compose(s1, s2 RelSet) RelSet {
+	var out RelSet
+	for a := fourint.Relation(0); a < 8; a++ {
+		if !s1.Has(a) {
+			continue
+		}
+		for b := fourint.Relation(0); b < 8; b++ {
+			if s2.Has(b) {
+				out |= compose[a][b]
+			}
+		}
+	}
+	return out
+}
+
+// Network is a constraint network over n region variables.
+type Network struct {
+	N int
+	c [][]RelSet // c[i][j], i<j stored both ways for convenience
+}
+
+// NewNetwork returns a network with all constraints unconstrained.
+func NewNetwork(n int) *Network {
+	nw := &Network{N: n, c: make([][]RelSet, n)}
+	for i := range nw.c {
+		nw.c[i] = make([]RelSet, n)
+		for j := range nw.c[i] {
+			if i == j {
+				nw.c[i][j] = S(fourint.Equal)
+			} else {
+				nw.c[i][j] = All
+			}
+		}
+	}
+	return nw
+}
+
+// Constrain intersects the constraint between variables i and j with s
+// (and j,i with the converse).
+func (nw *Network) Constrain(i, j int, s RelSet) error {
+	if i == j {
+		return fmt.Errorf("infer: cannot constrain a variable against itself")
+	}
+	nw.c[i][j] &= s
+	nw.c[j][i] &= s.Inverse()
+	return nil
+}
+
+// Get returns the constraint between i and j.
+func (nw *Network) Get(i, j int) RelSet { return nw.c[i][j] }
+
+// Clone deep-copies the network.
+func (nw *Network) Clone() *Network {
+	out := NewNetwork(nw.N)
+	for i := range nw.c {
+		copy(out.c[i], nw.c[i])
+	}
+	return out
+}
+
+// PathConsistent runs path consistency to a fixpoint. It returns false if
+// some constraint becomes empty (the network is certainly unsatisfiable);
+// true means "not refuted" (path consistency is sound, not complete).
+func (nw *Network) PathConsistent() bool {
+	changed := true
+	for changed {
+		changed = false
+		for i := 0; i < nw.N; i++ {
+			for j := 0; j < nw.N; j++ {
+				if i == j {
+					continue
+				}
+				for k := 0; k < nw.N; k++ {
+					if k == i || k == j {
+						continue
+					}
+					refined := nw.c[i][j] & Compose(nw.c[i][k], nw.c[k][j])
+					if refined != nw.c[i][j] {
+						nw.c[i][j] = refined
+						nw.c[j][i] = refined.Inverse()
+						changed = true
+					}
+					if refined.Empty() {
+						return false
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+// Scenario is a full assignment of one relation per pair.
+type Scenario [][]fourint.Relation
+
+// Solve searches for a path-consistent atomic scenario by backtracking
+// (exponential in the worst case — the problem is NP-hard, Corollary 6.3).
+// It returns nil if none exists.
+func (nw *Network) Solve() Scenario {
+	w := nw.Clone()
+	if !w.PathConsistent() {
+		return nil
+	}
+	var rec func() bool
+	rec = func() bool {
+		// Find the most constrained undecided pair.
+		bi, bj, best := -1, -1, 9
+		for i := 0; i < w.N; i++ {
+			for j := i + 1; j < w.N; j++ {
+				if n := w.c[i][j].Count(); n > 1 && n < best {
+					bi, bj, best = i, j, n
+				}
+			}
+		}
+		if bi == -1 {
+			return true // fully decided
+		}
+		saved := w.Clone()
+		for r := fourint.Relation(0); r < 8; r++ {
+			if !w.c[bi][bj].Has(r) {
+				continue
+			}
+			w.c[bi][bj] = S(r)
+			w.c[bj][bi] = S(r).Inverse()
+			if w.PathConsistent() && rec() {
+				return true
+			}
+			w = saved.Clone()
+		}
+		// Restore for the caller.
+		w = saved
+		return false
+	}
+	if !rec() {
+		return nil
+	}
+	out := make(Scenario, w.N)
+	for i := range out {
+		out[i] = make([]fourint.Relation, w.N)
+		for j := 0; j < w.N; j++ {
+			for r := fourint.Relation(0); r < 8; r++ {
+				if w.c[i][j].Has(r) {
+					out[i][j] = r
+					break
+				}
+			}
+		}
+	}
+	return out
+}

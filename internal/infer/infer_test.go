@@ -1,0 +1,208 @@
+package infer
+
+import (
+	"testing"
+	"testing/quick"
+
+	"topodb/internal/fourint"
+	"topodb/internal/region"
+	"topodb/internal/spatial"
+)
+
+func TestRelSetBasics(t *testing.T) {
+	s := S(fourint.Disjoint, fourint.Inside)
+	if !s.Has(fourint.Disjoint) || s.Has(fourint.Meet) {
+		t.Fatal("Has wrong")
+	}
+	if s.Count() != 2 {
+		t.Fatal("Count wrong")
+	}
+	if s.Inverse() != S(fourint.Disjoint, fourint.Contains) {
+		t.Fatalf("Inverse = %s", s.Inverse())
+	}
+	if All.Count() != 8 {
+		t.Fatal("All should have 8")
+	}
+	if !RelSet(0).Empty() || s.Empty() {
+		t.Fatal("Empty wrong")
+	}
+}
+
+// Composition table sanity: identities and converse symmetry.
+func TestCompositionTableProperties(t *testing.T) {
+	E := fourint.Equal
+	for r := fourint.Relation(0); r < 8; r++ {
+		// equal ∘ r = r and r ∘ equal = r.
+		if compose[E][r] != S(r) {
+			t.Errorf("equal∘%v = %s", r, compose[E][r])
+		}
+		if compose[r][E] != S(r) {
+			t.Errorf("%v∘equal = %s", r, compose[r][E])
+		}
+		// r must be a member of r ∘ r⁻¹ composed appropriately:
+		// a r b and b r⁻¹ a implies a equal a... check equal ∈ r∘r⁻¹.
+		if !compose[r][r.Inverse()].Has(E) {
+			t.Errorf("equal ∉ %v∘%v", r, r.Inverse())
+		}
+	}
+	// Converse symmetry: (r1∘r2)⁻¹ = r2⁻¹∘r1⁻¹.
+	for a := fourint.Relation(0); a < 8; a++ {
+		for b := fourint.Relation(0); b < 8; b++ {
+			lhs := compose[a][b].Inverse()
+			rhs := compose[b.Inverse()][a.Inverse()]
+			if lhs != rhs {
+				t.Errorf("converse symmetry fails at %v,%v: %s vs %s", a, b, lhs, rhs)
+			}
+		}
+	}
+}
+
+// The composition table must be sound on real geometric configurations:
+// for regions A,B,C, rel(A,C) ∈ compose[rel(A,B)][rel(B,C)].
+func TestCompositionSoundOnGeometry(t *testing.T) {
+	instances := []*spatial.Instance{
+		spatial.Fig1a(), spatial.Fig1b(),
+	}
+	n, d := spatial.NestedPair()
+	_ = d
+	instances = append(instances, n.Clone().MustAdd("C", mustRect(1, 1, 8, 8)))
+	for _, in := range instances {
+		names := in.Names()
+		if len(names) < 3 {
+			continue
+		}
+		rel, err := fourint.AllPairs(in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range names {
+			for _, b := range names {
+				for _, c := range names {
+					if a == b || b == c || a == c {
+						continue
+					}
+					rab := rel[[2]string{a, b}]
+					rbc := rel[[2]string{b, c}]
+					rac := rel[[2]string{a, c}]
+					if !compose[rab][rbc].Has(rac) {
+						t.Errorf("%s %v %s, %s %v %s but %s %v %s ∉ composition %s",
+							a, rab, b, b, rbc, c, a, rac, c, compose[rab][rbc])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestPathConsistencyDetectsContradiction(t *testing.T) {
+	// A inside B, B inside C, A contains C is impossible.
+	nw := NewNetwork(3)
+	nw.Constrain(0, 1, S(fourint.Inside))
+	nw.Constrain(1, 2, S(fourint.Inside))
+	nw.Constrain(0, 2, S(fourint.Contains))
+	if nw.PathConsistent() {
+		t.Fatal("contradictory nesting not detected")
+	}
+}
+
+func TestPathConsistencyRefines(t *testing.T) {
+	// A inside B, B inside C forces A inside C.
+	nw := NewNetwork(3)
+	nw.Constrain(0, 1, S(fourint.Inside))
+	nw.Constrain(1, 2, S(fourint.Inside))
+	if !nw.PathConsistent() {
+		t.Fatal("consistent network refuted")
+	}
+	if got := nw.Get(0, 2); got != S(fourint.Inside) {
+		t.Fatalf("A vs C refined to %s, want inside", got)
+	}
+}
+
+func TestSolveFindsScenario(t *testing.T) {
+	// A meets B, B meets C, A disjoint-or-meet C: satisfiable.
+	nw := NewNetwork(3)
+	nw.Constrain(0, 1, S(fourint.Meet))
+	nw.Constrain(1, 2, S(fourint.Meet))
+	nw.Constrain(0, 2, S(fourint.Disjoint, fourint.Meet))
+	sc := nw.Solve()
+	if sc == nil {
+		t.Fatal("satisfiable network unsolved")
+	}
+	if sc[0][1] != fourint.Meet || sc[1][2] != fourint.Meet {
+		t.Fatal("scenario does not respect constraints")
+	}
+	if sc[0][2] != fourint.Disjoint && sc[0][2] != fourint.Meet {
+		t.Fatalf("scenario[0][2] = %v", sc[0][2])
+	}
+}
+
+func TestSolveRejectsUnsat(t *testing.T) {
+	nw := NewNetwork(3)
+	nw.Constrain(0, 1, S(fourint.Inside))
+	nw.Constrain(1, 2, S(fourint.Disjoint))
+	nw.Constrain(0, 2, S(fourint.Overlap)) // A⊂B, B∥C ⇒ A∥C, not overlap
+	if sc := nw.Solve(); sc != nil {
+		t.Fatalf("unsatisfiable network solved: %v", sc)
+	}
+}
+
+func TestConstrainSelfErrors(t *testing.T) {
+	nw := NewNetwork(2)
+	if err := nw.Constrain(0, 0, All); err == nil {
+		t.Fatal("self constraint accepted")
+	}
+}
+
+// Property: Compose is monotone in both arguments.
+func TestQuickComposeMonotone(t *testing.T) {
+	f := func(a, b uint16) bool {
+		s1, s2 := RelSet(a)&All, RelSet(b)&All
+		if s1.Empty() || s2.Empty() {
+			return true
+		}
+		full := Compose(s1, s2)
+		// Any sub-composition is contained in the full composition.
+		for r := fourint.Relation(0); r < 8; r++ {
+			if s1.Has(r) {
+				if Compose(S(r), s2)&^full != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPathConsistency10(b *testing.B) {
+	build := func() *Network {
+		nw := NewNetwork(10)
+		// A chain of meets with loose ends.
+		for i := 0; i+1 < 10; i++ {
+			nw.Constrain(i, i+1, S(fourint.Meet, fourint.Overlap))
+		}
+		nw.Constrain(0, 9, S(fourint.Disjoint, fourint.Meet))
+		return nw
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw := build()
+		nw.PathConsistent()
+	}
+}
+
+func BenchmarkSolve6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		nw := NewNetwork(6)
+		for j := 0; j+1 < 6; j++ {
+			nw.Constrain(j, j+1, S(fourint.Meet, fourint.Overlap, fourint.Disjoint))
+		}
+		if nw.Solve() == nil {
+			b.Fatal("should be satisfiable")
+		}
+	}
+}
+
+func mustRect(x1, y1, x2, y2 int64) region.Region { return region.MustRect(x1, y1, x2, y2) }

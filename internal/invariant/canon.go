@@ -1,0 +1,217 @@
+package invariant
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// This file implements the canonical form used to decide isomorphism of
+// invariants — and hence, by Theorem 3.4, topological equivalence of
+// instances. The encoding is a deterministic traversal of each component's
+// rotation system, minimized over all starting edge-ends; nested components
+// are encoded bottom-up into the faces that contain them; and the whole
+// instance is minimized over the two global chiralities (every plane
+// homeomorphism is isotopic to the identity or to a single reflection, so
+// orientation must flip for all components together — this is exactly the
+// case analysis in the paper's proof of Theorem 3.4).
+
+// Canonical returns the canonical encoding of the invariant. Two instances
+// over the same names are topologically equivalent iff their canonical
+// encodings are equal.
+func (t *T) Canonical() string {
+	plus := t.encodeInstance(false)
+	minus := t.encodeInstance(true)
+	if plus <= minus {
+		return plus
+	}
+	return minus
+}
+
+// Equivalent reports whether two invariants describe topologically
+// equivalent instances (requires identical name sets; the isomorphism is
+// the identity on names).
+func Equivalent(a, b *T) bool {
+	if len(a.Names) != len(b.Names) {
+		return false
+	}
+	for i := range a.Names {
+		if a.Names[i] != b.Names[i] {
+			return false
+		}
+	}
+	return a.Canonical() == b.Canonical()
+}
+
+// encodeInstance encodes the whole instance under a fixed chirality.
+// Results are cached.
+func (t *T) encodeInstance(mirror bool) string {
+	idx := 0
+	if mirror {
+		idx = 1
+	}
+	if t.canon[idx] != "" {
+		return t.canon[idx]
+	}
+	// Encode components bottom-up by depth.
+	order := make([]int, len(t.Comps))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return t.Comps[order[i]].Depth > t.Comps[order[j]].Depth
+	})
+	compEnc := make([]string, len(t.Comps))
+	for _, ci := range order {
+		compEnc[ci] = t.encodeComp(ci, mirror, compEnc)
+	}
+	// The instance is the multiset of root component encodings.
+	var roots []string
+	for ci := range t.Comps {
+		if t.Comps[ci].ParentFace == t.Exterior {
+			roots = append(roots, compEnc[ci])
+		}
+	}
+	sort.Strings(roots)
+	enc := fmt.Sprintf("I[%d]{%s}", len(t.Names), strings.Join(roots, "|"))
+	t.canon[idx] = enc
+	return enc
+}
+
+// encodeComp canonically encodes one component given the encodings of all
+// deeper components (compEnc), under the given chirality.
+func (t *T) encodeComp(ci int, mirror bool, compEnc []string) string {
+	c := &t.Comps[ci]
+	// faceEnc returns the face payload: label plus sorted children.
+	faceEnc := func(fi int) string {
+		f := &t.Faces[fi]
+		var kids []string
+		for _, ch := range f.Children {
+			kids = append(kids, compEnc[ch])
+		}
+		sort.Strings(kids)
+		return f.Label.Key() + "{" + strings.Join(kids, "|") + "}"
+	}
+
+	if len(c.Verts) == 0 {
+		// A vertex-free closed curve: one edge, an inner face.
+		if len(c.Edges) != 1 {
+			panic("invariant: vertex-free component with multiple edges")
+		}
+		e := t.Edges[c.Edges[0]]
+		inner := e.FL
+		if t.Faces[inner].Comp != ci {
+			inner = e.FR
+		}
+		return "O(" + e.Label.Key() + ";" + faceEnc(inner) + ")"
+	}
+
+	best := ""
+	for _, vi := range c.Verts {
+		for k := range t.Verts[vi].Rot {
+			enc := t.encodeFrom(ci, vi, k, mirror, faceEnc)
+			if best == "" || enc < best {
+				best = enc
+			}
+		}
+	}
+	return best
+}
+
+// encodeFrom produces a deterministic encoding of component ci starting
+// from rotation position k at vertex vi.
+func (t *T) encodeFrom(ci, vi, k int, mirror bool, faceEnc func(int) string) string {
+	vNum := map[int]int{}  // vertex -> canonical number
+	eNum := map[int]int{}  // edge -> canonical number
+	fNum := map[int]int{}  // face -> canonical number
+	var fOrder []int       // faces in first-appearance order
+	entry := map[int]End{} // vertex -> entry end (end at that vertex)
+	var queue []int
+
+	vNum[vi] = 0
+	entry[vi] = t.Verts[vi].Rot[k]
+	queue = append(queue, vi)
+
+	var b strings.Builder
+	faceOf := func(fi int) int {
+		if n, ok := fNum[fi]; ok {
+			return n
+		}
+		n := len(fNum)
+		fNum[fi] = n
+		fOrder = append(fOrder, fi)
+		return n
+	}
+
+	for qi := 0; qi < len(queue); qi++ {
+		v := queue[qi]
+		rot := t.Verts[v].Rot
+		// Find the entry end's position in the rotation.
+		start := -1
+		for i, en := range rot {
+			if en == entry[v] {
+				start = i
+				break
+			}
+		}
+		if start == -1 {
+			panic("invariant: entry end not in rotation")
+		}
+		fmt.Fprintf(&b, "V%s:", t.Verts[v].Label.Key())
+		n := len(rot)
+		for step := 0; step < n; step++ {
+			var en End
+			if mirror {
+				en = rot[((start-step)%n+n)%n]
+			} else {
+				en = rot[(start+step)%n]
+			}
+			e := &t.Edges[en.Edge]
+			num, seenEdge := eNum[en.Edge]
+			if !seenEdge {
+				num = len(eNum)
+				eNum[en.Edge] = num
+			}
+			// Face to the left of this outgoing end; under mirror the
+			// left face is the stored right face.
+			var fl int
+			if (en.Side == 0) != mirror {
+				fl = e.FL
+			} else {
+				fl = e.FR
+			}
+			// Note: an edge end appears exactly once in the rotation
+			// system, so the second encounter of an edge is always its
+			// other end; the raw side index is construction-dependent
+			// and must not be emitted.
+			fmt.Fprintf(&b, "e%d", num)
+			if !seenEdge {
+				fmt.Fprintf(&b, "(%s)", e.Label.Key())
+			}
+			fmt.Fprintf(&b, "f%d", faceOf(fl))
+			other := OtherEnd(en)
+			w := t.EndVertex(other)
+			if wn, ok := vNum[w]; ok {
+				fmt.Fprintf(&b, ">v%d;", wn)
+			} else {
+				vNum[w] = len(vNum)
+				entry[w] = other
+				queue = append(queue, w)
+				fmt.Fprintf(&b, ">v%d!;", vNum[w])
+			}
+		}
+		b.WriteByte('|')
+	}
+	// Face table in first-appearance order. Faces owned by this component
+	// carry their payload; the parent face is the marker "P".
+	b.WriteString("F:")
+	for _, fi := range fOrder {
+		if t.Faces[fi].Comp == ci {
+			b.WriteString(faceEnc(fi))
+		} else {
+			b.WriteString("P")
+		}
+		b.WriteByte(',')
+	}
+	return b.String()
+}

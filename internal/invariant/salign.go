@@ -1,0 +1,69 @@
+package invariant
+
+import (
+	"sort"
+
+	"topodb/internal/arrange"
+	"topodb/internal/geom"
+	"topodb/internal/rat"
+	"topodb/internal/spatial"
+)
+
+// SInvariant computes the S-invariant S_I sketched in the paper's proof of
+// Theorem 6.1 (Fig 14): the topological invariant of the instance
+// augmented with the full horizontal and vertical lines through every
+// region vertex. Two instances related by a symmetry (monotone coordinate
+// maps, possibly swapping axes) have isomorphic S-invariants, while
+// instances that are merely homeomorphic but differently axis-aligned are
+// distinguished — exactly the extra alignment cells Fig 14 depicts.
+//
+// The added lines are ownerless scaffold segments: they refine the cell
+// complex without changing any region, and their crossings survive
+// smoothing (degree-4 vertices), so the alignment pattern is part of the
+// resulting structure.
+func SInvariant(in *spatial.Instance) (*T, error) {
+	box, ok := in.Box()
+	if !ok {
+		return nil, errEmpty
+	}
+	minX, minY := box.MinX.Sub(rat.One), box.MinY.Sub(rat.One)
+	maxX, maxY := box.MaxX.Add(rat.One), box.MaxY.Add(rat.One)
+	var xs, ys []rat.R
+	for _, n := range in.Names() {
+		for _, p := range in.MustExt(n).Ring() {
+			xs = append(xs, p.X)
+			ys = append(ys, p.Y)
+		}
+	}
+	xs = dedupRats(xs)
+	ys = dedupRats(ys)
+	var segs []geom.Seg
+	for _, x := range xs {
+		segs = append(segs, geom.Seg{A: geom.Pt{X: x, Y: minY}, B: geom.Pt{X: x, Y: maxY}})
+	}
+	for _, y := range ys {
+		segs = append(segs, geom.Seg{A: geom.Pt{X: minX, Y: y}, B: geom.Pt{X: maxX, Y: y}})
+	}
+	a, err := arrange.BuildWithScaffold(in, segs)
+	if err != nil {
+		return nil, err
+	}
+	return FromArrangement(a)
+}
+
+func dedupRats(vs []rat.R) []rat.R {
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Less(vs[j]) })
+	out := vs[:0]
+	for _, v := range vs {
+		if len(out) == 0 || !out[len(out)-1].Equal(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+type emptyErr struct{}
+
+func (emptyErr) Error() string { return "invariant: empty instance" }
+
+var errEmpty = emptyErr{}

@@ -1,0 +1,86 @@
+package invariant
+
+import (
+	"testing"
+
+	"topodb/internal/region"
+	"topodb/internal/spatial"
+)
+
+// Fig 14: two instances that are topologically equivalent (two disjoint
+// rectangles) but not S-equivalent: in I the rectangles are offset in both
+// axes, in I' they are horizontally aligned, so the horizontal lines
+// through B's corners pass through A only in I'.
+func TestSInvariantFig14(t *testing.T) {
+	i := spatial.New().
+		MustAdd("A", region.MustRect(0, 0, 4, 4)).
+		MustAdd("B", region.MustRect(8, 6, 12, 10)) // offset in y
+	ip := spatial.New().
+		MustAdd("A", region.MustRect(0, 0, 4, 4)).
+		MustAdd("B", region.MustRect(8, 0, 12, 4)) // aligned in y
+
+	// Topologically equivalent...
+	ti, err := New(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp, err := New(ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equivalent(ti, tp) {
+		t.Fatal("both are two disjoint discs: H-equivalent")
+	}
+	// ...but the S-invariants differ.
+	si, err := SInvariant(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp, err := SInvariant(ip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Equivalent(si, sp) {
+		t.Fatal("S-invariants must distinguish differently aligned instances")
+	}
+}
+
+// S-transformations (axis scaling, translation) preserve the S-invariant.
+func TestSInvariantSGeneric(t *testing.T) {
+	i := spatial.New().
+		MustAdd("A", region.MustRect(0, 0, 4, 4)).
+		MustAdd("B", region.MustRect(8, 2, 12, 6))
+	// x -> 3x+1, y -> 2y (monotone coordinate maps = a symmetry).
+	j := spatial.New().
+		MustAdd("A", region.MustRect(1, 0, 13, 8)).
+		MustAdd("B", region.MustRect(25, 4, 37, 12))
+	si, err := SInvariant(i)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sj, err := SInvariant(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equivalent(si, sj) {
+		t.Fatal("S-invariant must be invariant under symmetries")
+	}
+}
+
+// The S-invariant refines the plain invariant: more cells, never fewer.
+func TestSInvariantRefines(t *testing.T) {
+	in := spatial.Fig1c()
+	ti, err := New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	si, err := SInvariant(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, e1, f1 := ti.Stats()
+	v2, e2, f2 := si.Stats()
+	if v2 <= v1 || e2 <= e1 || f2 <= f1 {
+		t.Fatalf("S-invariant should refine: (%d,%d,%d) vs (%d,%d,%d)", v1, e1, f1, v2, e2, f2)
+	}
+}

@@ -1,0 +1,157 @@
+package pointlang
+
+import (
+	"testing"
+
+	"topodb/internal/folang"
+	"topodb/internal/region"
+	"topodb/internal/spatial"
+)
+
+// overlapQ is the point-based version of overlap-ish: some point in both
+// A and B.
+func overlapQ() Formula {
+	return Exists{"p", And{In{"A", "p"}, In{"B", "p"}}}
+}
+
+func TestBasicQueries(t *testing.T) {
+	ev := NewEvaluator(spatial.Fig1c())
+	ok, err := ev.Eval(overlapQ())
+	if err != nil || !ok {
+		t.Fatalf("Fig1c: A∩B inhabited: %v %v", ok, err)
+	}
+	_, disjoint := spatial.NestedPair()
+	ev2 := NewEvaluator(disjoint)
+	ok, err = ev2.Eval(overlapQ())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("disjoint pair should fail")
+	}
+	// Containment: all p: B(p) -> A(p), true for the nested pair.
+	nested, _ := spatial.NestedPair()
+	ev3 := NewEvaluator(nested)
+	ok, err = ev3.Eval(Forall{"p", Or{Not{In{"B", "p"}}, In{"A", "p"}}})
+	if err != nil || !ok {
+		t.Fatalf("nested containment: %v %v", ok, err)
+	}
+}
+
+func TestOrderAtoms(t *testing.T) {
+	ev := NewEvaluator(spatial.Fig1c())
+	// Some point of A is strictly left of some point of B (S-generic in
+	// x-order). A=[0,4]², B=[2,6]².
+	f := Exists{"p", And{In{"A", "p"},
+		Exists{"q", And{In{"B", "q"}, LessX{"p", "q"}}}}}
+	ok, err := ev.Eval(f)
+	if err != nil || !ok {
+		t.Fatalf("left-of query: %v %v", ok, err)
+	}
+	// No point of A is left of itself.
+	f2 := Exists{"p", And{In{"A", "p"}, LessX{"p", "p"}}}
+	ok, err = ev.Eval(f2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("p <x p must be false")
+	}
+}
+
+func TestUnboundErrors(t *testing.T) {
+	ev := NewEvaluator(spatial.Fig1c())
+	if _, err := ev.Eval(In{"A", "p"}); err == nil {
+		t.Fatal("unbound point accepted")
+	}
+	if _, err := ev.Eval(Exists{"p", In{"Z", "p"}}); err == nil {
+		t.Fatal("unknown region accepted")
+	}
+}
+
+// Theorem 5.8 flavor: the point language and the region (cell) language
+// agree on topological queries across instance families. We compare the
+// query "A and B share an interior point" (point version) with
+// "some cell inside both" (region version), and the triple-intersection
+// query of Example 4.1.
+func TestAgreementWithRegionLanguage(t *testing.T) {
+	instances := map[string]*spatial.Instance{
+		"fig1a": spatial.Fig1a(),
+		"fig1b": spatial.Fig1b(),
+		"fig1c": spatial.Fig1c(),
+		"fig1d": spatial.Fig1d(),
+	}
+	pointTriple := Exists{"p", And{In{"A", "p"}, And{In{"B", "p"}, In{"C", "p"}}}}
+	regionTriple := "some cell r: (subset(r, A) and subset(r, B)) and subset(r, C)"
+	for name, in := range instances {
+		if len(in.Names()) < 3 {
+			continue
+		}
+		pv, err := NewEvaluator(in).Eval(pointTriple)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := folang.NewUniverse(in, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rv, err := folang.NewEvaluator(u).EvalQuery(regionTriple)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pv != rv {
+			t.Errorf("%s: point language %v, region language %v", name, pv, rv)
+		}
+	}
+	for name, in := range instances {
+		pv, err := NewEvaluator(in).Eval(overlapQ())
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, _ := folang.NewUniverse(in, 0)
+		rv, err := folang.NewEvaluator(u).EvalQuery("some cell r: subset(r, A) and subset(r, B)")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pv != rv {
+			t.Errorf("%s: overlap: point %v region %v", name, pv, rv)
+		}
+	}
+}
+
+// Prop 5.7 flavor: an M-generic query is invariant under monotone
+// coordinate maps; a non-M-generic property like "A meets the diagonal"
+// is not expressible here (no x=y atom), so evaluation of order atoms on
+// scaled instances must agree.
+func TestMGenericity(t *testing.T) {
+	base := spatial.Fig1c()
+	scaled := spatial.New().
+		MustAdd("A", mustRect(0, 0, 40, 4)).
+		MustAdd("B", mustRect(20, 2, 60, 6))
+	f := Exists{"p", And{In{"A", "p"},
+		Exists{"q", And{In{"B", "q"}, And{LessX{"p", "q"}, LessY{"p", "q"}}}}}}
+	v1, err := NewEvaluator(base).Eval(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2, err := NewEvaluator(scaled).Eval(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v1 != v2 {
+		t.Fatal("M-generic query differs under a monotone coordinate map")
+	}
+}
+
+func BenchmarkPointQueryFig1b(b *testing.B) {
+	ev := NewEvaluator(spatial.Fig1b())
+	f := Exists{"p", And{In{"A", "p"}, And{In{"B", "p"}, In{"C", "p"}}}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ev.Eval(f); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func mustRect(x1, y1, x2, y2 int64) region.Region { return region.MustRect(x1, y1, x2, y2) }

@@ -1,0 +1,317 @@
+// Package rat provides exact rational arithmetic for robust computational
+// geometry. All geometric predicates in this repository are evaluated over
+// rat.R values, so there is no floating-point anywhere on a decision path.
+//
+// R wraps math/big.Rat with a small-integer fast path: values whose
+// numerator and denominator fit in int64 (with headroom for overflow checks)
+// are represented inline, avoiding big.Rat allocation for the common case of
+// integer-coordinate inputs. The zero value of R is the number 0.
+package rat
+
+import (
+	"fmt"
+	"math"
+	"math/big"
+)
+
+// R is an immutable exact rational number. The zero value is 0.
+//
+// Representation: if big == nil the value is num/den with den > 0 and
+// gcd(|num|, den) == 1. If big != nil it holds the value and num/den are
+// ignored. R values are safe to copy and compare via Cmp (not ==).
+type R struct {
+	num, den int64
+	big      *big.Rat
+}
+
+// Zero and One are the constants 0 and 1.
+var (
+	Zero = FromInt(0)
+	One  = FromInt(1)
+	Two  = FromInt(2)
+)
+
+// FromInt returns the rational n/1.
+func FromInt(n int64) R { return R{num: n, den: 1} }
+
+// FromFrac returns the rational num/den. It panics if den == 0.
+func FromFrac(num, den int64) R {
+	if den == 0 {
+		panic("rat: zero denominator")
+	}
+	if den < 0 {
+		// Avoid overflow on MinInt64 by falling back to big.
+		if num == math.MinInt64 || den == math.MinInt64 {
+			return fromBig(new(big.Rat).SetFrac64(num, den))
+		}
+		num, den = -num, -den
+	}
+	g := gcd64(abs64(num), den)
+	if g > 1 {
+		num /= g
+		den /= g
+	}
+	return R{num: num, den: den}
+}
+
+// FromBig returns an R holding a copy of v.
+func FromBig(v *big.Rat) R { return fromBig(new(big.Rat).Set(v)) }
+
+// fromBig takes ownership of v and normalizes back to the fast path
+// when the value fits comfortably in int64.
+func fromBig(v *big.Rat) R {
+	if v.Num().IsInt64() && v.Denom().IsInt64() {
+		n, d := v.Num().Int64(), v.Denom().Int64()
+		if abs64(n) < 1<<62 && d < 1<<62 {
+			return R{num: n, den: d}
+		}
+	}
+	return R{big: v}
+}
+
+// Parse parses a rational from strings like "3", "-7/2", or "1.25".
+func Parse(s string) (R, error) {
+	v, ok := new(big.Rat).SetString(s)
+	if !ok {
+		return R{}, fmt.Errorf("rat: cannot parse %q", s)
+	}
+	return fromBig(v), nil
+}
+
+// MustParse is Parse that panics on error; for tests and literals.
+func MustParse(s string) R {
+	v, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+func abs64(x int64) int64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func gcd64(a, b int64) int64 {
+	for b != 0 {
+		a, b = b, a%b
+	}
+	if a == 0 {
+		return 1
+	}
+	return a
+}
+
+// isSmall reports whether r is in the inline representation.
+func (r R) isSmall() bool { return r.big == nil }
+
+// norm returns the canonical inline form (fixing a zero-value R).
+func (r R) normSmall() (int64, int64) {
+	if r.den == 0 {
+		return 0, 1 // zero value of R
+	}
+	return r.num, r.den
+}
+
+// Rat returns the value as a fresh *big.Rat.
+func (r R) Rat() *big.Rat {
+	if r.big != nil {
+		return new(big.Rat).Set(r.big)
+	}
+	n, d := r.normSmall()
+	return new(big.Rat).SetFrac64(n, d)
+}
+
+// Float64 returns the nearest float64 (for display and non-decision uses only).
+func (r R) Float64() float64 {
+	if r.big != nil {
+		f, _ := r.big.Float64()
+		return f
+	}
+	n, d := r.normSmall()
+	return float64(n) / float64(d)
+}
+
+// String formats the value as "n" or "n/d".
+func (r R) String() string {
+	if r.big != nil {
+		if r.big.IsInt() {
+			return r.big.Num().String()
+		}
+		return r.big.String()
+	}
+	n, d := r.normSmall()
+	if d == 1 {
+		return fmt.Sprintf("%d", n)
+	}
+	return fmt.Sprintf("%d/%d", n, d)
+}
+
+// mulOverflows reports whether a*b overflows int64.
+func mulOverflows(a, b int64) bool {
+	if a == 0 || b == 0 {
+		return false
+	}
+	c := a * b
+	return c/b != a || (a == -1 && b == math.MinInt64) || (b == -1 && a == math.MinInt64)
+}
+
+func addOverflows(a, b int64) bool {
+	c := a + b
+	return (a > 0 && b > 0 && c < 0) || (a < 0 && b < 0 && c >= 0)
+}
+
+// Add returns r + s.
+func (r R) Add(s R) R {
+	if r.isSmall() && s.isSmall() {
+		rn, rd := r.normSmall()
+		sn, sd := s.normSmall()
+		if !mulOverflows(rn, sd) && !mulOverflows(sn, rd) && !mulOverflows(rd, sd) {
+			a, b := rn*sd, sn*rd
+			if !addOverflows(a, b) {
+				return FromFrac(a+b, rd*sd)
+			}
+		}
+	}
+	return fromBig(new(big.Rat).Add(r.Rat(), s.Rat()))
+}
+
+// Sub returns r - s.
+func (r R) Sub(s R) R { return r.Add(s.Neg()) }
+
+// Neg returns -r.
+func (r R) Neg() R {
+	if r.isSmall() {
+		n, d := r.normSmall()
+		if n != math.MinInt64 {
+			return R{num: -n, den: d}
+		}
+	}
+	return fromBig(new(big.Rat).Neg(r.Rat()))
+}
+
+// Mul returns r * s.
+func (r R) Mul(s R) R {
+	if r.isSmall() && s.isSmall() {
+		rn, rd := r.normSmall()
+		sn, sd := s.normSmall()
+		// Cross-reduce to keep operands small.
+		g1 := gcd64(abs64(rn), sd)
+		g2 := gcd64(abs64(sn), rd)
+		rn, sd = rn/g1, sd/g1
+		sn, rd = sn/g2, rd/g2
+		if !mulOverflows(rn, sn) && !mulOverflows(rd, sd) {
+			return R{num: rn * sn, den: rd * sd}
+		}
+	}
+	return fromBig(new(big.Rat).Mul(r.Rat(), s.Rat()))
+}
+
+// Div returns r / s. It panics if s is zero.
+func (r R) Div(s R) R {
+	if s.Sign() == 0 {
+		panic("rat: division by zero")
+	}
+	return r.Mul(s.Inv())
+}
+
+// Inv returns 1/r. It panics if r is zero.
+func (r R) Inv() R {
+	if r.Sign() == 0 {
+		panic("rat: inverse of zero")
+	}
+	if r.isSmall() {
+		n, d := r.normSmall()
+		if n > 0 {
+			return R{num: d, den: n}
+		}
+		if n != math.MinInt64 {
+			return R{num: -d, den: -n}
+		}
+	}
+	return fromBig(new(big.Rat).Inv(r.Rat()))
+}
+
+// Sign returns -1, 0, or +1.
+func (r R) Sign() int {
+	if r.big != nil {
+		return r.big.Sign()
+	}
+	n, _ := r.normSmall()
+	switch {
+	case n < 0:
+		return -1
+	case n > 0:
+		return 1
+	}
+	return 0
+}
+
+// Cmp compares r and s, returning -1, 0, or +1.
+func (r R) Cmp(s R) int {
+	if r.isSmall() && s.isSmall() {
+		rn, rd := r.normSmall()
+		sn, sd := s.normSmall()
+		if !mulOverflows(rn, sd) && !mulOverflows(sn, rd) {
+			a, b := rn*sd, sn*rd
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			}
+			return 0
+		}
+	}
+	return r.Rat().Cmp(s.Rat())
+}
+
+// Equal reports r == s as values.
+func (r R) Equal(s R) bool { return r.Cmp(s) == 0 }
+
+// Less reports r < s.
+func (r R) Less(s R) bool { return r.Cmp(s) < 0 }
+
+// LessEq reports r <= s.
+func (r R) LessEq(s R) bool { return r.Cmp(s) <= 0 }
+
+// IsInt reports whether r is an integer.
+func (r R) IsInt() bool {
+	if r.big != nil {
+		return r.big.IsInt()
+	}
+	_, d := r.normSmall()
+	return d == 1
+}
+
+// Abs returns |r|.
+func (r R) Abs() R {
+	if r.Sign() < 0 {
+		return r.Neg()
+	}
+	return r
+}
+
+// Min returns the smaller of r and s.
+func Min(r, s R) R {
+	if r.Cmp(s) <= 0 {
+		return r
+	}
+	return s
+}
+
+// Max returns the larger of r and s.
+func Max(r, s R) R {
+	if r.Cmp(s) >= 0 {
+		return r
+	}
+	return s
+}
+
+// Mid returns (r+s)/2.
+func Mid(r, s R) R { return r.Add(s).Div(Two) }
+
+// Key returns a string usable as a map key; equal values yield equal keys.
+func (r R) Key() string { return r.String() }

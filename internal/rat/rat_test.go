@@ -1,0 +1,240 @@
+package rat
+
+import (
+	"math"
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromFracNormalizes(t *testing.T) {
+	cases := []struct {
+		num, den int64
+		want     string
+	}{
+		{1, 2, "1/2"},
+		{2, 4, "1/2"},
+		{-2, 4, "-1/2"},
+		{2, -4, "-1/2"},
+		{-2, -4, "1/2"},
+		{0, 5, "0"},
+		{7, 1, "7"},
+		{-7, 7, "-1"},
+	}
+	for _, c := range cases {
+		got := FromFrac(c.num, c.den).String()
+		if got != c.want {
+			t.Errorf("FromFrac(%d,%d) = %s, want %s", c.num, c.den, got, c.want)
+		}
+	}
+}
+
+func TestZeroValueIsZero(t *testing.T) {
+	var z R
+	if z.Sign() != 0 {
+		t.Fatalf("zero value sign = %d", z.Sign())
+	}
+	if !z.Add(One).Equal(One) {
+		t.Fatalf("0+1 != 1")
+	}
+	if z.String() != "0" {
+		t.Fatalf("zero value String = %q", z.String())
+	}
+}
+
+func TestArithmetic(t *testing.T) {
+	a := FromFrac(1, 3)
+	b := FromFrac(1, 6)
+	if got := a.Add(b).String(); got != "1/2" {
+		t.Errorf("1/3+1/6 = %s", got)
+	}
+	if got := a.Sub(b).String(); got != "1/6" {
+		t.Errorf("1/3-1/6 = %s", got)
+	}
+	if got := a.Mul(b).String(); got != "1/18" {
+		t.Errorf("1/3*1/6 = %s", got)
+	}
+	if got := a.Div(b).String(); got != "2" {
+		t.Errorf("(1/3)/(1/6) = %s", got)
+	}
+	if got := a.Neg().String(); got != "-1/3" {
+		t.Errorf("-(1/3) = %s", got)
+	}
+	if got := a.Inv().String(); got != "3" {
+		t.Errorf("inv(1/3) = %s", got)
+	}
+}
+
+func TestOverflowFallsBackToBig(t *testing.T) {
+	big1 := FromInt(math.MaxInt64)
+	got := big1.Mul(big1)
+	want := new(big.Rat).SetInt64(math.MaxInt64)
+	want.Mul(want, want)
+	if got.Rat().Cmp(want) != 0 {
+		t.Fatalf("MaxInt64^2 = %s, want %s", got, want)
+	}
+	sum := big1.Add(big1)
+	want2 := new(big.Rat).SetInt64(math.MaxInt64)
+	want2.Add(want2, want2)
+	if sum.Rat().Cmp(want2) != 0 {
+		t.Fatalf("MaxInt64*2 = %s", sum)
+	}
+}
+
+func TestMinInt64Edge(t *testing.T) {
+	m := FromInt(math.MinInt64)
+	if m.Neg().Rat().Cmp(new(big.Rat).SetInt64(math.MinInt64).Neg(new(big.Rat).SetInt64(math.MinInt64))) != 0 {
+		t.Fatalf("-MinInt64 wrong: %s", m.Neg())
+	}
+	if m.Inv().Mul(m).Cmp(One) != 0 {
+		t.Fatalf("MinInt64 * 1/MinInt64 != 1")
+	}
+}
+
+func TestCmp(t *testing.T) {
+	vals := []R{FromInt(-3), FromFrac(-1, 2), Zero, FromFrac(1, 3), FromFrac(1, 2), One, FromInt(10)}
+	for i := range vals {
+		for j := range vals {
+			want := 0
+			if i < j {
+				want = -1
+			} else if i > j {
+				want = 1
+			}
+			if got := vals[i].Cmp(vals[j]); got != want {
+				t.Errorf("Cmp(%s,%s) = %d, want %d", vals[i], vals[j], got, want)
+			}
+		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := map[string]string{
+		"3":     "3",
+		"-7/2":  "-7/2",
+		"1.25":  "5/4",
+		"0":     "0",
+		"-0.5":  "-1/2",
+		"10/20": "1/2",
+	}
+	for in, want := range cases {
+		got, err := Parse(in)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", in, err)
+		}
+		if got.String() != want {
+			t.Errorf("Parse(%q) = %s, want %s", in, got, want)
+		}
+	}
+	if _, err := Parse("x"); err == nil {
+		t.Error("Parse(\"x\") should fail")
+	}
+}
+
+func TestDivByZeroPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	One.Div(Zero)
+}
+
+func TestHelpers(t *testing.T) {
+	if !Min(One, Two).Equal(One) || !Max(One, Two).Equal(Two) {
+		t.Error("Min/Max wrong")
+	}
+	if !Mid(Zero, One).Equal(FromFrac(1, 2)) {
+		t.Error("Mid wrong")
+	}
+	if !FromInt(-4).Abs().Equal(FromInt(4)) {
+		t.Error("Abs wrong")
+	}
+	if !FromInt(3).IsInt() || FromFrac(1, 2).IsInt() {
+		t.Error("IsInt wrong")
+	}
+	if FromFrac(1, 2).Key() != FromFrac(2, 4).Key() {
+		t.Error("Key not canonical")
+	}
+}
+
+// Property: arithmetic agrees with big.Rat reference implementation.
+func TestQuickAgainstBigRat(t *testing.T) {
+	f := func(an, bn int64, adRaw, bdRaw int32) bool {
+		ad := int64(adRaw%1000) + 1001 // positive denominator
+		bd := int64(bdRaw%1000) + 1001
+		a, b := FromFrac(an, ad), FromFrac(bn, bd)
+		ra := new(big.Rat).SetFrac64(an, ad)
+		rb := new(big.Rat).SetFrac64(bn, bd)
+		if a.Add(b).Rat().Cmp(new(big.Rat).Add(ra, rb)) != 0 {
+			return false
+		}
+		if a.Sub(b).Rat().Cmp(new(big.Rat).Sub(ra, rb)) != 0 {
+			return false
+		}
+		if a.Mul(b).Rat().Cmp(new(big.Rat).Mul(ra, rb)) != 0 {
+			return false
+		}
+		if a.Cmp(b) != ra.Cmp(rb) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: field axioms on the fast path.
+func TestQuickFieldAxioms(t *testing.T) {
+	f := func(an, bn, cn int32) bool {
+		a, b, c := FromInt(int64(an)), FromFrac(int64(bn), 7), FromFrac(int64(cn), 13)
+		// commutativity
+		if !a.Add(b).Equal(b.Add(a)) || !a.Mul(b).Equal(b.Mul(a)) {
+			return false
+		}
+		// associativity
+		if !a.Add(b).Add(c).Equal(a.Add(b.Add(c))) {
+			return false
+		}
+		if !a.Mul(b).Mul(c).Equal(a.Mul(b.Mul(c))) {
+			return false
+		}
+		// distributivity
+		if !a.Mul(b.Add(c)).Equal(a.Mul(b).Add(a.Mul(c))) {
+			return false
+		}
+		// inverses
+		if !a.Add(a.Neg()).Equal(Zero) {
+			return false
+		}
+		if b.Sign() != 0 && !b.Mul(b.Inv()).Equal(One) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAddSmall(b *testing.B) {
+	x, y := FromFrac(1, 3), FromFrac(2, 7)
+	for i := 0; i < b.N; i++ {
+		_ = x.Add(y)
+	}
+}
+
+func BenchmarkMulSmall(b *testing.B) {
+	x, y := FromFrac(355, 113), FromFrac(22, 7)
+	for i := 0; i < b.N; i++ {
+		_ = x.Mul(y)
+	}
+}
+
+func BenchmarkCmpSmall(b *testing.B) {
+	x, y := FromFrac(355, 113), FromFrac(22, 7)
+	for i := 0; i < b.N; i++ {
+		_ = x.Cmp(y)
+	}
+}

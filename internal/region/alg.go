@@ -1,0 +1,124 @@
+package region
+
+import (
+	"fmt"
+
+	"topodb/internal/geom"
+	"topodb/internal/rat"
+)
+
+// This file provides the simulated Alg constructors. The vertices produced
+// lie exactly on the algebraic curve being represented (rational points of
+// circles/ellipses via the tangent-half-angle parametrization), so the
+// regions are honest algebraic samples; the discretization only straightens
+// the arcs between sample points, which by Theorem 3.5 of the paper does not
+// change any topological query as long as incidences are preserved.
+
+// NewCircle returns an Alg region approximating the open disc of the given
+// center and radius by an inscribed convex polygon with at least n >= 3
+// vertices, each an exact rational point of the circle x²+y²=r².
+func NewCircle(cx, cy, r rat.R, n int) (Region, error) {
+	if r.Sign() <= 0 {
+		return Region{}, fmt.Errorf("region: circle radius must be positive")
+	}
+	if n < 3 {
+		n = 3
+	}
+	ring := make(geom.Ring, 0, n+1)
+	// Tangent half-angle: t ∈ (-∞,∞) ↦ (r(1-t²)/(1+t²), 2rt/(1+t²)),
+	// covering all angles except π. Sample t over [-L, L] and add the
+	// angle-π point (-r, 0) explicitly.
+	const L = 4
+	for k := 0; k < n; k++ {
+		// t = -L + 2L·k/(n-1), as an exact rational.
+		t := rat.FromFrac(int64(-L*(n-1)+2*L*k), int64(n-1))
+		t2 := t.Mul(t)
+		den := rat.One.Add(t2)
+		x := cx.Add(r.Mul(rat.One.Sub(t2)).Div(den))
+		y := cy.Add(rat.Two.Mul(r).Mul(t).Div(den))
+		ring = append(ring, geom.Pt{X: x, Y: y})
+	}
+	ring = append(ring, geom.Pt{X: cx.Sub(r), Y: cy})
+	reg, err := NewPoly(ring)
+	if err != nil {
+		return Region{}, fmt.Errorf("region: circle discretization failed: %w", err)
+	}
+	reg.class = Alg
+	return reg, nil
+}
+
+// MustCircle is NewCircle with int64 parameters, panicking on error.
+func MustCircle(cx, cy, r int64, n int) Region {
+	reg, err := NewCircle(rat.FromInt(cx), rat.FromInt(cy), rat.FromInt(r), n)
+	if err != nil {
+		panic(err)
+	}
+	return reg
+}
+
+// NewEllipse returns an Alg region for the ellipse with semi-axes a, b,
+// discretized like NewCircle.
+func NewEllipse(cx, cy, a, b rat.R, n int) (Region, error) {
+	if a.Sign() <= 0 || b.Sign() <= 0 {
+		return Region{}, fmt.Errorf("region: ellipse axes must be positive")
+	}
+	circ, err := NewCircle(rat.Zero, rat.Zero, rat.One, n)
+	if err != nil {
+		return Region{}, err
+	}
+	ring := make(geom.Ring, len(circ.ring))
+	for i, p := range circ.ring {
+		ring[i] = geom.Pt{X: cx.Add(a.Mul(p.X)), Y: cy.Add(b.Mul(p.Y))}
+	}
+	reg, err := NewPoly(ring)
+	if err != nil {
+		return Region{}, err
+	}
+	reg.class = Alg
+	return reg, nil
+}
+
+// NewAlg declares an arbitrary simple ring as an Alg region (every polygon
+// is semi-algebraic).
+func NewAlg(ring geom.Ring) (Region, error) {
+	reg, err := NewPoly(ring)
+	if err != nil {
+		return Region{}, err
+	}
+	reg.class = Alg
+	return reg, nil
+}
+
+// NewDisc declares an arbitrary simple ring as a Disc region (the most
+// general class).
+func NewDisc(ring geom.Ring) (Region, error) {
+	reg, err := NewPoly(ring)
+	if err != nil {
+		return Region{}, err
+	}
+	reg.class = Disc
+	return reg, nil
+}
+
+// Fig3Examples returns one example region per class, mirroring the paper's
+// Fig 3 gallery.
+func Fig3Examples() map[string]Region {
+	disc, _ := NewDisc(geom.Ring{geom.P(0, 0), geom.P(5, 1), geom.P(6, 5), geom.P(3, 7), geom.P(-1, 4)})
+	alg := MustCircle(20, 0, 3, 12)
+	poly := MustPoly(geom.Ring{geom.P(40, 0), geom.P(46, 0), geom.P(44, 5), geom.P(42, 2)})
+	rect := MustRect(60, 0, 66, 4)
+	ru, err := NewRectUnion(
+		MustRect(80, 0, 86, 3),
+		MustRect(82, 2, 84, 8),
+	)
+	if err != nil {
+		panic(err)
+	}
+	return map[string]Region{
+		"Disc":  disc,
+		"Alg":   alg,
+		"Poly":  poly,
+		"Rect":  rect,
+		"Rect*": ru,
+	}
+}

@@ -1,0 +1,394 @@
+// Package region implements the paper's region classes (§2): Rect, Rect*,
+// Poly, Alg and Disc. A region is an open, simply connected, nonempty subset
+// of R² with connected boundary; we represent its boundary as an exact
+// polygonal ring.
+//
+// Substitution note (see DESIGN.md §2): the paper's Alg regions have
+// piecewise-algebraic boundaries. By the paper's own Theorem 3.5, every Alg
+// instance is topologically equivalent to a Poly instance, so for topological
+// queries a polygonal discretization with the same incidence pattern is a
+// faithful stand-in. The Alg constructors here produce polygons whose
+// vertices lie exactly on the algebraic curve (rational parametrization), so
+// they are "algebraic" in an honest sense while remaining exactly
+// representable.
+package region
+
+import (
+	"fmt"
+	"sort"
+
+	"topodb/internal/geom"
+	"topodb/internal/rat"
+)
+
+// Class identifies which of the paper's region families a region belongs to.
+// The classes are nested: Rect ⊂ Rect* ⊂ Disc and Poly ⊂ Alg ⊂ Disc.
+type Class int
+
+const (
+	// Rect: open axis-parallel rectangles.
+	Rect Class = iota
+	// RectUnion is the paper's Rect*: discs that are finite unions of
+	// rectangles (rectilinear simple polygons).
+	RectUnion
+	// Poly: simple polygons.
+	Poly
+	// Alg: discs with piecewise-algebraic boundary (here: polygons whose
+	// vertices sample an algebraic curve; see package comment).
+	Alg
+	// Disc: arbitrary homeomorphic images of the open unit disc.
+	Disc
+)
+
+func (c Class) String() string {
+	switch c {
+	case Rect:
+		return "Rect"
+	case RectUnion:
+		return "Rect*"
+	case Poly:
+		return "Poly"
+	case Alg:
+		return "Alg"
+	case Disc:
+		return "Disc"
+	}
+	return "?"
+}
+
+// Region is an open, simply connected region of the plane, represented by
+// its boundary ring (counterclockwise). The zero value is invalid; use the
+// constructors.
+type Region struct {
+	class Class
+	ring  geom.Ring
+}
+
+// Class returns the declared class of the region.
+func (r Region) Class() Class { return r.class }
+
+// Ring returns the boundary ring (counterclockwise). Callers must not
+// modify it.
+func (r Region) Ring() geom.Ring { return r.ring }
+
+// Boundary returns the boundary as a list of segments.
+func (r Region) Boundary() []geom.Seg { return r.ring.Edges() }
+
+// Box returns the bounding box of the region.
+func (r Region) Box() geom.Box { return geom.BoxOf(r.ring...) }
+
+// Locate classifies a point against the open region.
+func (r Region) Locate(p geom.Pt) geom.PointLocation {
+	return geom.RingContains(r.ring, p)
+}
+
+// IsEmpty reports whether the region is invalid/empty.
+func (r Region) IsEmpty() bool { return len(r.ring) == 0 }
+
+func (r Region) String() string {
+	return fmt.Sprintf("%s%v", r.class, []geom.Pt(r.ring))
+}
+
+// normalizeRing validates a ring and returns it in counterclockwise
+// orientation with a canonical starting vertex.
+func normalizeRing(ring geom.Ring) (geom.Ring, error) {
+	if err := ring.Validate(); err != nil {
+		return nil, err
+	}
+	if !ring.IsCCW() {
+		ring = ring.Reverse()
+	}
+	return ring.Canonicalize(), nil
+}
+
+// NewPoly returns the open simple polygon with the given boundary ring.
+func NewPoly(ring geom.Ring) (Region, error) {
+	r, err := normalizeRing(ring)
+	if err != nil {
+		return Region{}, fmt.Errorf("region: invalid polygon: %w", err)
+	}
+	return Region{class: Poly, ring: r}, nil
+}
+
+// MustPoly is NewPoly that panics on error (tests and fixtures).
+func MustPoly(ring geom.Ring) Region {
+	r, err := NewPoly(ring)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// NewRect returns the open rectangle (x1,x2) × (y1,y2). It requires
+// x1 < x2 and y1 < y2.
+func NewRect(x1, y1, x2, y2 rat.R) (Region, error) {
+	if !x1.Less(x2) || !y1.Less(y2) {
+		return Region{}, fmt.Errorf("region: empty rectangle [%s,%s]x[%s,%s]", x1, x2, y1, y2)
+	}
+	ring := geom.Ring{{X: x1, Y: y1}, {X: x2, Y: y1}, {X: x2, Y: y2}, {X: x1, Y: y2}}
+	r, _ := normalizeRing(ring)
+	return Region{class: Rect, ring: r}, nil
+}
+
+// MustRect is NewRect with int64 corners, panicking on error.
+func MustRect(x1, y1, x2, y2 int64) Region {
+	r, err := NewRect(rat.FromInt(x1), rat.FromInt(y1), rat.FromInt(x2), rat.FromInt(y2))
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// IsRectangle reports whether the region's extent is an axis-parallel
+// rectangle (regardless of declared class).
+func (r Region) IsRectangle() bool {
+	ring := r.ring
+	if len(ring) != 4 {
+		return false
+	}
+	for i := range ring {
+		a, b := ring[i], ring[(i+1)%4]
+		if !a.X.Equal(b.X) && !a.Y.Equal(b.Y) {
+			return false
+		}
+	}
+	return true
+}
+
+// IsRectilinear reports whether every boundary edge is axis-parallel.
+func (r Region) IsRectilinear() bool {
+	for _, e := range r.Boundary() {
+		if !e.A.X.Equal(e.B.X) && !e.A.Y.Equal(e.B.Y) {
+			return false
+		}
+	}
+	return true
+}
+
+// AsClass returns a copy of the region declared as class c; it errors if the
+// geometry does not belong to c (Rect must be a rectangle, Rect* must be
+// rectilinear).
+func (r Region) AsClass(c Class) (Region, error) {
+	switch c {
+	case Rect:
+		if !r.IsRectangle() {
+			return Region{}, fmt.Errorf("region: not a rectangle")
+		}
+	case RectUnion:
+		if !r.IsRectilinear() {
+			return Region{}, fmt.Errorf("region: not rectilinear")
+		}
+	}
+	return Region{class: c, ring: r.ring}, nil
+}
+
+// NewRectUnion returns the Rect* region that is the union of the given
+// rectangles. The union must be connected and simply connected (a disc);
+// otherwise an error is returned. The boundary is computed exactly on the
+// grid induced by the rectangle corners.
+func NewRectUnion(rects ...Region) (Region, error) {
+	if len(rects) == 0 {
+		return Region{}, fmt.Errorf("region: empty union")
+	}
+	var xs, ys []rat.R
+	for _, r := range rects {
+		if !r.IsRectangle() {
+			return Region{}, fmt.Errorf("region: union member is not a rectangle")
+		}
+		b := r.Box()
+		xs = append(xs, b.MinX, b.MaxX)
+		ys = append(ys, b.MinY, b.MaxY)
+	}
+	xs = dedupSorted(xs)
+	ys = dedupSorted(ys)
+	nx, ny := len(xs)-1, len(ys)-1
+	// covered[i][j]: grid cell (xs[i],xs[i+1]) x (ys[j],ys[j+1]) in union.
+	covered := make([][]bool, nx)
+	for i := range covered {
+		covered[i] = make([]bool, ny)
+		cx := rat.Mid(xs[i], xs[i+1])
+		for j := 0; j < ny; j++ {
+			cy := rat.Mid(ys[j], ys[j+1])
+			for _, r := range rects {
+				b := r.Box()
+				if b.MinX.Less(cx) && cx.Less(b.MaxX) && b.MinY.Less(cy) && cy.Less(b.MaxY) {
+					covered[i][j] = true
+					break
+				}
+			}
+		}
+	}
+	if err := checkDiscGrid(covered, nx, ny); err != nil {
+		return Region{}, err
+	}
+	ring, err := traceGridBoundary(covered, xs, ys)
+	if err != nil {
+		return Region{}, err
+	}
+	r, err := normalizeRing(ring)
+	if err != nil {
+		return Region{}, fmt.Errorf("region: union boundary is not simple (union is not a disc): %w", err)
+	}
+	return Region{class: RectUnion, ring: r}, nil
+}
+
+func dedupSorted(vs []rat.R) []rat.R {
+	sort.Slice(vs, func(i, j int) bool { return vs[i].Less(vs[j]) })
+	out := vs[:0]
+	for _, v := range vs {
+		if len(out) == 0 || !out[len(out)-1].Equal(v) {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// checkDiscGrid verifies the covered cells are edge-connected and that the
+// complement (including the outer frame) is edge-connected (no holes).
+func checkDiscGrid(covered [][]bool, nx, ny int) error {
+	count := 0
+	var si, sj int
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			if covered[i][j] {
+				if count == 0 {
+					si, sj = i, j
+				}
+				count++
+			}
+		}
+	}
+	if count == 0 {
+		return fmt.Errorf("region: union covers nothing")
+	}
+	if n := gridFlood(covered, nx, ny, si, sj, true); n != count {
+		return fmt.Errorf("region: union is disconnected (%d of %d cells reachable)", n, count)
+	}
+	// Complement connectivity on an (nx+2)x(ny+2) frame.
+	ext := make([][]bool, nx+2)
+	for i := range ext {
+		ext[i] = make([]bool, ny+2)
+	}
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			ext[i+1][j+1] = covered[i][j]
+		}
+	}
+	free := 0
+	for i := 0; i < nx+2; i++ {
+		for j := 0; j < ny+2; j++ {
+			if !ext[i][j] {
+				free++
+			}
+		}
+	}
+	if n := gridFlood(ext, nx+2, ny+2, 0, 0, false); n != free {
+		return fmt.Errorf("region: union has a hole")
+	}
+	return nil
+}
+
+func gridFlood(g [][]bool, nx, ny, si, sj int, val bool) int {
+	seen := make([][]bool, nx)
+	for i := range seen {
+		seen[i] = make([]bool, ny)
+	}
+	stack := [][2]int{{si, sj}}
+	seen[si][sj] = true
+	n := 0
+	for len(stack) > 0 {
+		c := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		n++
+		for _, d := range [][2]int{{1, 0}, {-1, 0}, {0, 1}, {0, -1}} {
+			i, j := c[0]+d[0], c[1]+d[1]
+			if i < 0 || j < 0 || i >= nx || j >= ny || seen[i][j] || g[i][j] != val {
+				continue
+			}
+			seen[i][j] = true
+			stack = append(stack, [2]int{i, j})
+		}
+	}
+	return n
+}
+
+// traceGridBoundary walks the boundary of the covered cell set clockwise or
+// counterclockwise, emitting the rectilinear ring with collinear vertices
+// merged. It also rejects pinch points (corner-touching cells), which would
+// make the union fail to be a disc.
+func traceGridBoundary(covered [][]bool, xs, ys []rat.R) (geom.Ring, error) {
+	nx, ny := len(xs)-1, len(ys)-1
+	at := func(i, j int) bool {
+		return i >= 0 && j >= 0 && i < nx && j < ny && covered[i][j]
+	}
+	// Reject pinch corners: diagonal pairs covered with shared corner free.
+	for i := -1; i < nx; i++ {
+		for j := -1; j < ny; j++ {
+			a, b, c, d := at(i, j), at(i+1, j), at(i, j+1), at(i+1, j+1)
+			if (a && d && !b && !c) || (b && c && !a && !d) {
+				return nil, fmt.Errorf("region: union touches itself at a corner (not a disc)")
+			}
+		}
+	}
+	// Collect directed boundary unit edges: for each covered cell, sides
+	// adjacent to uncovered cells, directed so the interior is on the left.
+	type gp struct{ i, j int } // grid point (xs[i], ys[j])
+	next := make(map[gp]gp)
+	addEdge := func(a, b gp) { next[a] = b }
+	for i := 0; i < nx; i++ {
+		for j := 0; j < ny; j++ {
+			if !covered[i][j] {
+				continue
+			}
+			if !at(i, j-1) { // bottom side, left-to-right
+				addEdge(gp{i, j}, gp{i + 1, j})
+			}
+			if !at(i+1, j) { // right side, bottom-to-top
+				addEdge(gp{i + 1, j}, gp{i + 1, j + 1})
+			}
+			if !at(i, j+1) { // top side, right-to-left
+				addEdge(gp{i + 1, j + 1}, gp{i, j + 1})
+			}
+			if !at(i-1, j) { // left side, top-to-bottom
+				addEdge(gp{i, j + 1}, gp{i, j})
+			}
+		}
+	}
+	if len(next) == 0 {
+		return nil, fmt.Errorf("region: no boundary")
+	}
+	// Walk the single cycle (pinches were rejected, so next is a bijection
+	// forming one cycle).
+	var start gp
+	for k := range next {
+		start = k
+		break
+	}
+	var cells []gp
+	cur := start
+	for {
+		cells = append(cells, cur)
+		cur = next[cur]
+		if cur == start {
+			break
+		}
+		if len(cells) > len(next) {
+			return nil, fmt.Errorf("region: boundary walk did not close")
+		}
+	}
+	if len(cells) != len(next) {
+		return nil, fmt.Errorf("region: boundary has multiple cycles (not a disc)")
+	}
+	// Merge collinear runs.
+	var ring geom.Ring
+	n := len(cells)
+	for k := 0; k < n; k++ {
+		prev, cu, nxt := cells[(k+n-1)%n], cells[k], cells[(k+1)%n]
+		d1 := gp{cu.i - prev.i, cu.j - prev.j}
+		d2 := gp{nxt.i - cu.i, nxt.j - cu.j}
+		if d1 != d2 {
+			ring = append(ring, geom.Pt{X: xs[cu.i], Y: ys[cu.j]})
+		}
+	}
+	return ring, nil
+}

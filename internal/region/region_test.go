@@ -1,0 +1,247 @@
+package region
+
+import (
+	"testing"
+	"testing/quick"
+
+	"topodb/internal/geom"
+	"topodb/internal/rat"
+)
+
+func TestNewRect(t *testing.T) {
+	r := MustRect(0, 0, 4, 2)
+	if r.Class() != Rect || !r.IsRectangle() || !r.IsRectilinear() {
+		t.Fatal("rect classification wrong")
+	}
+	if got := r.Locate(geom.P(2, 1)); got != geom.Inside {
+		t.Errorf("center: %v", got)
+	}
+	if got := r.Locate(geom.P(0, 1)); got != geom.OnBoundary {
+		t.Errorf("edge: %v", got)
+	}
+	if got := r.Locate(geom.P(5, 1)); got != geom.Outside {
+		t.Errorf("outside: %v", got)
+	}
+	if _, err := NewRect(rat.One, rat.Zero, rat.One, rat.One); err == nil {
+		t.Error("degenerate rect accepted")
+	}
+	if _, err := NewRect(rat.Two, rat.Zero, rat.One, rat.One); err == nil {
+		t.Error("inverted rect accepted")
+	}
+}
+
+func TestNewPolyRejectsBad(t *testing.T) {
+	if _, err := NewPoly(geom.Ring{geom.P(0, 0), geom.P(4, 4), geom.P(4, 0), geom.P(0, 4)}); err == nil {
+		t.Error("bowtie accepted")
+	}
+	r, err := NewPoly(geom.Ring{geom.P(0, 4), geom.P(4, 4), geom.P(4, 0), geom.P(0, 0)}) // CW input
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Ring().IsCCW() {
+		t.Error("ring not normalized to CCW")
+	}
+}
+
+func TestRectUnionLShape(t *testing.T) {
+	// L-shape: two overlapping rectangles.
+	ru, err := NewRectUnion(MustRect(0, 0, 4, 2), MustRect(0, 0, 2, 6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ru.Class() != RectUnion || !ru.IsRectilinear() {
+		t.Fatal("class wrong")
+	}
+	if len(ru.Ring()) != 6 {
+		t.Fatalf("L-shape should have 6 corners, got %d: %v", len(ru.Ring()), ru.Ring())
+	}
+	if got := ru.Locate(geom.P(1, 1)); got != geom.Inside {
+		t.Errorf("corner cell: %v", got)
+	}
+	if got := ru.Locate(geom.P(3, 3)); got != geom.Outside {
+		t.Errorf("notch: %v", got)
+	}
+	if got := ru.Locate(geom.P(1, 5)); got != geom.Inside {
+		t.Errorf("arm: %v", got)
+	}
+}
+
+func TestRectUnionSingleRect(t *testing.T) {
+	ru, err := NewRectUnion(MustRect(0, 0, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ru.IsRectangle() {
+		t.Error("single-rect union should be a rectangle")
+	}
+}
+
+func TestRectUnionRejectsDisconnected(t *testing.T) {
+	if _, err := NewRectUnion(MustRect(0, 0, 1, 1), MustRect(5, 5, 6, 6)); err == nil {
+		t.Error("disconnected union accepted")
+	}
+}
+
+func TestRectUnionRejectsHole(t *testing.T) {
+	// Frame of four rectangles around a hole.
+	_, err := NewRectUnion(
+		MustRect(0, 0, 6, 1),
+		MustRect(0, 5, 6, 6),
+		MustRect(0, 0, 1, 6),
+		MustRect(5, 0, 6, 6),
+	)
+	if err == nil {
+		t.Error("union with hole accepted")
+	}
+}
+
+func TestRectUnionRejectsPinch(t *testing.T) {
+	// Two rectangles sharing only a corner point.
+	if _, err := NewRectUnion(MustRect(0, 0, 2, 2), MustRect(2, 2, 4, 4)); err == nil {
+		t.Error("corner-touching union accepted")
+	}
+}
+
+func TestRectUnionAdjacentMerge(t *testing.T) {
+	// Two side-by-side rectangles sharing a full edge: union is one rect.
+	ru, err := NewRectUnion(MustRect(0, 0, 2, 2), MustRect(2, 0, 4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ru.IsRectangle() {
+		t.Fatalf("merged union should be a 4-corner rectangle, got %v", ru.Ring())
+	}
+}
+
+func TestCircleVerticesOnCircle(t *testing.T) {
+	c := MustCircle(0, 0, 5, 16)
+	r2 := rat.FromInt(25)
+	for _, p := range c.Ring() {
+		d := p.X.Mul(p.X).Add(p.Y.Mul(p.Y))
+		if !d.Equal(r2) {
+			t.Fatalf("vertex %s not on circle: |p|² = %s", p, d)
+		}
+	}
+	if c.Class() != Alg {
+		t.Error("circle should be Alg")
+	}
+	if got := c.Locate(geom.P(0, 0)); got != geom.Inside {
+		t.Errorf("center: %v", got)
+	}
+	if got := c.Locate(geom.P(6, 0)); got != geom.Outside {
+		t.Errorf("far point: %v", got)
+	}
+}
+
+func TestCircleConvexAndCCW(t *testing.T) {
+	c := MustCircle(3, -2, 7, 24)
+	ring := c.Ring()
+	n := len(ring)
+	if n < 24 {
+		t.Fatalf("expected >= 24 vertices, got %d", n)
+	}
+	for i := 0; i < n; i++ {
+		if geom.Orient(ring[i], ring[(i+1)%n], ring[(i+2)%n]) <= 0 {
+			t.Fatalf("non-convex corner at %d", i)
+		}
+	}
+}
+
+func TestEllipse(t *testing.T) {
+	e, err := NewEllipse(rat.Zero, rat.Zero, rat.FromInt(4), rat.FromInt(2), 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Vertices satisfy x²/16 + y²/4 = 1.
+	a2, b2 := rat.FromInt(16), rat.FromInt(4)
+	for _, p := range e.Ring() {
+		v := p.X.Mul(p.X).Div(a2).Add(p.Y.Mul(p.Y).Div(b2))
+		if !v.Equal(rat.One) {
+			t.Fatalf("vertex %s off ellipse: %s", p, v)
+		}
+	}
+}
+
+func TestFig3Examples(t *testing.T) {
+	ex := Fig3Examples()
+	want := map[string]Class{"Disc": Disc, "Alg": Alg, "Poly": Poly, "Rect": Rect, "Rect*": RectUnion}
+	for name, cls := range want {
+		r, ok := ex[name]
+		if !ok {
+			t.Fatalf("missing %s example", name)
+		}
+		if r.Class() != cls {
+			t.Errorf("%s example has class %v", name, r.Class())
+		}
+		if r.IsEmpty() {
+			t.Errorf("%s example empty", name)
+		}
+	}
+}
+
+func TestAsClass(t *testing.T) {
+	r := MustRect(0, 0, 2, 2)
+	if _, err := r.AsClass(Poly); err != nil {
+		t.Error("rect as poly should work")
+	}
+	p := MustPoly(geom.Ring{geom.P(0, 0), geom.P(4, 0), geom.P(2, 3)})
+	if _, err := p.AsClass(Rect); err == nil {
+		t.Error("triangle as rect accepted")
+	}
+	if _, err := p.AsClass(RectUnion); err == nil {
+		t.Error("triangle as rect* accepted")
+	}
+}
+
+// Property: random rectangle unions (overlapping a common spine) always
+// produce a valid rectilinear disc whose Locate agrees with membership in
+// at least one rectangle.
+func TestQuickRectUnion(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		// Three rectangles chained along x, each overlapping the spine y∈(0,4).
+		w1, w2, w3 := int64(a%5)+2, int64(b%5)+2, int64(c%5)+2
+		r1 := MustRect(0, 0, w1, 4)
+		r2 := MustRect(w1-1, -2, w1-1+w2, 3)
+		r3 := MustRect(w1+w2-2, 1, w1+w2-2+w3, 6)
+		ru, err := NewRectUnion(r1, r2, r3)
+		if err != nil {
+			return false
+		}
+		probes := []geom.Pt{geom.P(1, 1), geom.P(w1, 1), geom.P(w1+w2-1, 2)}
+		for _, p := range probes {
+			in := false
+			for _, r := range []Region{r1, r2, r3} {
+				if r.Locate(p) == geom.Inside {
+					in = true
+				}
+			}
+			got := ru.Locate(p)
+			if in && got != geom.Inside {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRectUnion(b *testing.B) {
+	rects := []Region{
+		MustRect(0, 0, 4, 2), MustRect(3, 1, 7, 3), MustRect(6, 2, 10, 4),
+		MustRect(0, 1, 2, 5), MustRect(1, 4, 5, 6),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewRectUnion(rects...); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCircle64(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = MustCircle(0, 0, 100, 64)
+	}
+}

@@ -1,0 +1,236 @@
+package reldb
+
+import "fmt"
+
+// First-order (relational calculus) queries over a DB with active-domain
+// semantics. Formulas are built programmatically; variables are strings,
+// constants are wrapped with C.
+
+// Term is a variable name or a constant.
+type Term struct {
+	Const bool
+	Val   string
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Val: name} }
+
+// C returns a constant term.
+func C(val string) Term { return Term{Const: true, Val: val} }
+
+// Formula is a first-order formula.
+type Formula interface{ isFormula() }
+
+// Atom asserts membership of a tuple of terms in a named relation.
+type Atom struct {
+	Rel   string
+	Terms []Term
+}
+
+// Eq asserts equality of two terms.
+type Eq struct{ L, R Term }
+
+// Not, And, Or, Implies are the boolean connectives.
+type Not struct{ F Formula }
+type And struct{ Fs []Formula }
+type Or struct{ Fs []Formula }
+type Implies struct{ L, R Formula }
+
+// Exists and Forall quantify a variable over the active domain.
+type Exists struct {
+	Var string
+	F   Formula
+}
+type Forall struct {
+	Var string
+	F   Formula
+}
+
+func (Atom) isFormula()    {}
+func (Eq) isFormula()      {}
+func (Not) isFormula()     {}
+func (And) isFormula()     {}
+func (Or) isFormula()      {}
+func (Implies) isFormula() {}
+func (Exists) isFormula()  {}
+func (Forall) isFormula()  {}
+
+// Eval evaluates a closed formula (all variables bound by quantifiers)
+// against the database.
+func Eval(db *DB, f Formula) (bool, error) {
+	return eval(db, f, map[string]string{}, db.ActiveDomain())
+}
+
+func resolve(t Term, env map[string]string) (string, error) {
+	if t.Const {
+		return t.Val, nil
+	}
+	v, ok := env[t.Val]
+	if !ok {
+		return "", fmt.Errorf("reldb: unbound variable %q", t.Val)
+	}
+	return v, nil
+}
+
+func eval(db *DB, f Formula, env map[string]string, dom []string) (bool, error) {
+	switch f := f.(type) {
+	case Atom:
+		r := db.Rel(f.Rel)
+		if r == nil {
+			return false, fmt.Errorf("reldb: unknown relation %q", f.Rel)
+		}
+		t := make(Tuple, len(f.Terms))
+		for i, tm := range f.Terms {
+			v, err := resolve(tm, env)
+			if err != nil {
+				return false, err
+			}
+			t[i] = v
+		}
+		return r.Contains(t), nil
+	case Eq:
+		l, err := resolve(f.L, env)
+		if err != nil {
+			return false, err
+		}
+		r, err := resolve(f.R, env)
+		if err != nil {
+			return false, err
+		}
+		return l == r, nil
+	case Not:
+		v, err := eval(db, f.F, env, dom)
+		return !v, err
+	case And:
+		for _, g := range f.Fs {
+			v, err := eval(db, g, env, dom)
+			if err != nil || !v {
+				return false, err
+			}
+		}
+		return true, nil
+	case Or:
+		for _, g := range f.Fs {
+			v, err := eval(db, g, env, dom)
+			if err != nil {
+				return false, err
+			}
+			if v {
+				return true, nil
+			}
+		}
+		return false, nil
+	case Implies:
+		l, err := eval(db, f.L, env, dom)
+		if err != nil {
+			return false, err
+		}
+		if !l {
+			return true, nil
+		}
+		return eval(db, f.R, env, dom)
+	case Exists:
+		for _, v := range dom {
+			env[f.Var] = v
+			ok, err := eval(db, f.F, env, dom)
+			delete(env, f.Var)
+			if err != nil {
+				return false, err
+			}
+			if ok {
+				return true, nil
+			}
+		}
+		return false, nil
+	case Forall:
+		for _, v := range dom {
+			env[f.Var] = v
+			ok, err := eval(db, f.F, env, dom)
+			delete(env, f.Var)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	return false, fmt.Errorf("reldb: unknown formula %T", f)
+}
+
+// Query evaluates a formula with the given free variables and returns the
+// satisfying assignments as a relation.
+func Query(db *DB, free []string, f Formula) (*Relation, error) {
+	out := NewRelation("query", len(free))
+	dom := db.ActiveDomain()
+	env := map[string]string{}
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(free) {
+			ok, err := eval(db, f, env, dom)
+			if err != nil {
+				return err
+			}
+			if ok {
+				t := make(Tuple, len(free))
+				for k, v := range free {
+					t[k] = env[v]
+				}
+				return out.Insert(t)
+			}
+			return nil
+		}
+		for _, v := range dom {
+			env[free[i]] = v
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+		}
+		delete(env, free[i])
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TransitiveClosure computes the reflexive-transitive closure of a binary
+// relation restricted to the given universe — the workhorse for
+// connectivity queries on the invariant (not first-order expressible, so
+// provided as a fixpoint primitive, in the spirit of Datalog).
+func TransitiveClosure(edge *Relation, universe []string) *Relation {
+	adj := map[string]map[string]bool{}
+	add := func(a, b string) {
+		if adj[a] == nil {
+			adj[a] = map[string]bool{}
+		}
+		adj[a][b] = true
+	}
+	for _, u := range universe {
+		add(u, u)
+	}
+	for _, t := range edge.Rows() {
+		add(t[0], t[1])
+		add(t[1], t[0])
+	}
+	// Floyd–Warshall-style saturation via BFS from each node.
+	out := NewRelation("tc", 2)
+	for _, s := range universe {
+		seen := map[string]bool{s: true}
+		queue := []string{s}
+		for len(queue) > 0 {
+			u := queue[0]
+			queue = queue[1:]
+			out.MustInsert(s, u)
+			for v := range adj[u] {
+				if !seen[v] {
+					seen[v] = true
+					queue = append(queue, v)
+				}
+			}
+		}
+	}
+	return out
+}

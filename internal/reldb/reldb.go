@@ -1,0 +1,215 @@
+// Package reldb is a small in-memory relational database engine: named
+// relations with set semantics, a relational algebra, and an active-domain
+// first-order query evaluator. It is the "classical database" substrate of
+// the paper's thematic problem (§3): once the topological invariant of a
+// spatial instance is stored relationally, topological queries become
+// ordinary relational queries, and this package runs them.
+package reldb
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Tuple is one row; all attributes are strings.
+type Tuple []string
+
+func (t Tuple) key() string { return strings.Join(t, "\x00") }
+
+// Clone returns a copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Relation is a named relation with fixed arity and set semantics.
+type Relation struct {
+	Name  string
+	Arity int
+	rows  map[string]Tuple
+}
+
+// NewRelation creates an empty relation.
+func NewRelation(name string, arity int) *Relation {
+	return &Relation{Name: name, Arity: arity, rows: make(map[string]Tuple)}
+}
+
+// Insert adds a tuple (idempotent). It errors on arity mismatch.
+func (r *Relation) Insert(t Tuple) error {
+	if len(t) != r.Arity {
+		return fmt.Errorf("reldb: %s expects arity %d, got %d", r.Name, r.Arity, len(t))
+	}
+	r.rows[t.key()] = t.Clone()
+	return nil
+}
+
+// MustInsert is Insert that panics on error.
+func (r *Relation) MustInsert(vals ...string) *Relation {
+	if err := r.Insert(Tuple(vals)); err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Contains reports membership.
+func (r *Relation) Contains(t Tuple) bool {
+	_, ok := r.rows[t.key()]
+	return ok
+}
+
+// Len returns the number of tuples.
+func (r *Relation) Len() int { return len(r.rows) }
+
+// Rows returns all tuples in sorted order.
+func (r *Relation) Rows() []Tuple {
+	out := make([]Tuple, 0, len(r.rows))
+	for _, t := range r.rows {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key() < out[j].key() })
+	return out
+}
+
+// Column returns the distinct values of column i, sorted.
+func (r *Relation) Column(i int) []string {
+	seen := map[string]bool{}
+	for _, t := range r.rows {
+		seen[t[i]] = true
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Select returns the tuples satisfying pred.
+func Select(r *Relation, pred func(Tuple) bool) *Relation {
+	out := NewRelation(r.Name+"'", r.Arity)
+	for _, t := range r.rows {
+		if pred(t) {
+			out.rows[t.key()] = t
+		}
+	}
+	return out
+}
+
+// Project returns the projection of r onto the given column indices.
+func Project(r *Relation, cols ...int) *Relation {
+	out := NewRelation(r.Name+"'", len(cols))
+	for _, t := range r.rows {
+		nt := make(Tuple, len(cols))
+		for i, c := range cols {
+			nt[i] = t[c]
+		}
+		out.rows[nt.key()] = nt
+	}
+	return out
+}
+
+// Join computes the equi-join of a and b on the column pairs (ai, bi); the
+// result schema is a's columns followed by b's non-join columns.
+func Join(a, b *Relation, on [][2]int) *Relation {
+	skip := map[int]bool{}
+	for _, p := range on {
+		skip[p[1]] = true
+	}
+	out := NewRelation(a.Name+"⋈"+b.Name, a.Arity+b.Arity-len(on))
+	// Hash join on the key columns.
+	index := map[string][]Tuple{}
+	for _, tb := range b.rows {
+		var kb []string
+		for _, p := range on {
+			kb = append(kb, tb[p[1]])
+		}
+		k := strings.Join(kb, "\x00")
+		index[k] = append(index[k], tb)
+	}
+	for _, ta := range a.rows {
+		var ka []string
+		for _, p := range on {
+			ka = append(ka, ta[p[0]])
+		}
+		k := strings.Join(ka, "\x00")
+		for _, tb := range index[k] {
+			nt := ta.Clone()
+			for i := 0; i < b.Arity; i++ {
+				if !skip[i] {
+					nt = append(nt, tb[i])
+				}
+			}
+			out.rows[nt.key()] = nt
+		}
+	}
+	return out
+}
+
+// Union returns a ∪ b (arities must match).
+func Union(a, b *Relation) (*Relation, error) {
+	if a.Arity != b.Arity {
+		return nil, fmt.Errorf("reldb: union arity mismatch")
+	}
+	out := NewRelation(a.Name+"∪"+b.Name, a.Arity)
+	for k, t := range a.rows {
+		out.rows[k] = t
+	}
+	for k, t := range b.rows {
+		out.rows[k] = t
+	}
+	return out, nil
+}
+
+// Diff returns a \ b.
+func Diff(a, b *Relation) (*Relation, error) {
+	if a.Arity != b.Arity {
+		return nil, fmt.Errorf("reldb: diff arity mismatch")
+	}
+	out := NewRelation(a.Name+"∖"+b.Name, a.Arity)
+	for k, t := range a.rows {
+		if _, ok := b.rows[k]; !ok {
+			out.rows[k] = t
+		}
+	}
+	return out, nil
+}
+
+// DB is a collection of named relations.
+type DB struct {
+	rels map[string]*Relation
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB { return &DB{rels: make(map[string]*Relation)} }
+
+// Add registers a relation (replacing any previous one of the same name).
+func (db *DB) Add(r *Relation) { db.rels[r.Name] = r }
+
+// Rel returns the named relation, or nil.
+func (db *DB) Rel(name string) *Relation { return db.rels[name] }
+
+// Names returns the relation names, sorted.
+func (db *DB) Names() []string {
+	out := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ActiveDomain returns every constant appearing in the database, sorted.
+func (db *DB) ActiveDomain() []string {
+	seen := map[string]bool{}
+	for _, r := range db.rels {
+		for _, t := range r.rows {
+			for _, v := range t {
+				seen[v] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

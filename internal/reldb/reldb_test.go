@@ -1,0 +1,168 @@
+package reldb
+
+import (
+	"testing"
+)
+
+func TestRelationBasics(t *testing.T) {
+	r := NewRelation("R", 2)
+	r.MustInsert("a", "b").MustInsert("a", "b").MustInsert("c", "d")
+	if r.Len() != 2 {
+		t.Fatalf("len = %d (set semantics)", r.Len())
+	}
+	if !r.Contains(Tuple{"a", "b"}) || r.Contains(Tuple{"b", "a"}) {
+		t.Fatal("Contains wrong")
+	}
+	if err := r.Insert(Tuple{"x"}); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+	rows := r.Rows()
+	if len(rows) != 2 || rows[0][0] != "a" {
+		t.Fatalf("rows = %v", rows)
+	}
+	if col := r.Column(1); len(col) != 2 || col[0] != "b" || col[1] != "d" {
+		t.Fatalf("column = %v", col)
+	}
+}
+
+func TestAlgebra(t *testing.T) {
+	r := NewRelation("R", 2)
+	r.MustInsert("1", "2").MustInsert("2", "3").MustInsert("3", "4")
+	s := NewRelation("S", 2)
+	s.MustInsert("2", "x").MustInsert("3", "y")
+
+	sel := Select(r, func(t Tuple) bool { return t[0] == "2" })
+	if sel.Len() != 1 {
+		t.Fatalf("select len = %d", sel.Len())
+	}
+	proj := Project(r, 1)
+	if proj.Len() != 3 || proj.Arity != 1 {
+		t.Fatalf("project = %v", proj.Rows())
+	}
+	// Join R.b = S.a : pairs (1,2,x), (2,3,y).
+	j := Join(r, s, [][2]int{{1, 0}})
+	if j.Len() != 2 || j.Arity != 3 {
+		t.Fatalf("join = %v", j.Rows())
+	}
+	u, err := Union(r, s)
+	if err != nil || u.Len() != 5 {
+		t.Fatalf("union = %v (%v)", u.Rows(), err)
+	}
+	d, err := Diff(r, s)
+	if err != nil || d.Len() != 3 {
+		t.Fatalf("diff = %v (%v)", d.Rows(), err)
+	}
+	if _, err := Union(r, Project(s, 0)); err == nil {
+		t.Fatal("arity mismatch union accepted")
+	}
+}
+
+func testDB() *DB {
+	db := NewDB()
+	edge := NewRelation("edge", 2)
+	edge.MustInsert("a", "b").MustInsert("b", "c").MustInsert("d", "e")
+	node := NewRelation("node", 1)
+	for _, n := range []string{"a", "b", "c", "d", "e"} {
+		node.MustInsert(n)
+	}
+	db.Add(edge)
+	db.Add(node)
+	return db
+}
+
+func TestFOEval(t *testing.T) {
+	db := testDB()
+	// ∃x edge(a, x)
+	ok, err := Eval(db, Exists{"x", Atom{"edge", []Term{C("a"), V("x")}}})
+	if err != nil || !ok {
+		t.Fatalf("exists: %v %v", ok, err)
+	}
+	// ∀x node(x) → ∃y (edge(x,y) ∨ edge(y,x)) — false: c has only incoming.
+	f := Forall{"x", Implies{
+		Atom{"node", []Term{V("x")}},
+		Exists{"y", Or{[]Formula{
+			Atom{"edge", []Term{V("x"), V("y")}},
+		}}},
+	}}
+	ok, err = Eval(db, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("c and e have no outgoing edge")
+	}
+	// With both directions it is true.
+	f2 := Forall{"x", Implies{
+		Atom{"node", []Term{V("x")}},
+		Exists{"y", Or{[]Formula{
+			Atom{"edge", []Term{V("x"), V("y")}},
+			Atom{"edge", []Term{V("y"), V("x")}},
+		}}},
+	}}
+	ok, err = Eval(db, f2)
+	if err != nil || !ok {
+		t.Fatalf("every node touches an edge: %v %v", ok, err)
+	}
+	// Eq and Not.
+	ok, _ = Eval(db, Not{Eq{C("a"), C("b")}})
+	if !ok {
+		t.Fatal("a != b")
+	}
+}
+
+func TestFOQuery(t *testing.T) {
+	db := testDB()
+	// Nodes reachable from a in exactly 2 steps.
+	rel, err := Query(db, []string{"z"}, Exists{"y", And{[]Formula{
+		Atom{"edge", []Term{C("a"), V("y")}},
+		Atom{"edge", []Term{V("y"), V("z")}},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 1 || !rel.Contains(Tuple{"c"}) {
+		t.Fatalf("query = %v", rel.Rows())
+	}
+}
+
+func TestUnboundVariableError(t *testing.T) {
+	db := testDB()
+	if _, err := Eval(db, Atom{"edge", []Term{V("x"), V("y")}}); err == nil {
+		t.Fatal("unbound variables should error")
+	}
+	if _, err := Eval(db, Atom{"nope", []Term{C("a")}}); err == nil {
+		t.Fatal("unknown relation should error")
+	}
+}
+
+func TestTransitiveClosure(t *testing.T) {
+	db := testDB()
+	tc := TransitiveClosure(db.Rel("edge"), db.Rel("node").Column(0))
+	if !tc.Contains(Tuple{"a", "c"}) {
+		t.Fatal("a should reach c")
+	}
+	if !tc.Contains(Tuple{"c", "a"}) {
+		t.Fatal("closure is symmetric (undirected)")
+	}
+	if tc.Contains(Tuple{"a", "d"}) {
+		t.Fatal("a should not reach d")
+	}
+	if !tc.Contains(Tuple{"d", "d"}) {
+		t.Fatal("closure is reflexive")
+	}
+}
+
+func BenchmarkJoin(b *testing.B) {
+	r := NewRelation("R", 2)
+	s := NewRelation("S", 2)
+	for i := 0; i < 200; i++ {
+		r.MustInsert(itoa(i), itoa(i+1))
+		s.MustInsert(itoa(i), itoa(i*2))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Join(r, s, [][2]int{{1, 0}})
+	}
+}
+
+func itoa(i int) string { return string(rune('A'+i%26)) + string(rune('0'+i/26)) }

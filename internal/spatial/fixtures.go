@@ -1,0 +1,147 @@
+package spatial
+
+import (
+	"topodb/internal/geom"
+	"topodb/internal/rat"
+	"topodb/internal/region"
+)
+
+func parseRat(s string) (rat.R, error) { return rat.Parse(s) }
+
+// The fixtures below realize the paper's running examples with exact
+// polygonal coordinates. Shapes differ from the paper's freehand drawings,
+// but the topological structure — which is all that matters — is identical.
+
+// Fig1a: three regions A, B, C pairwise overlapping with a nonempty triple
+// intersection A∩B∩C.
+func Fig1a() *Instance {
+	return New().
+		MustAdd("A", region.MustRect(0, 0, 6, 6)).
+		MustAdd("B", region.MustRect(4, -1, 10, 7)).
+		MustAdd("C", region.MustRect(3, 2, 8, 9))
+}
+
+// Fig1b: three regions pairwise overlapping (hence 4-intersection
+// equivalent to Fig1a) but with an empty triple intersection. C is a
+// U-shaped Rect* region whose arms overlap A and B separately.
+func Fig1b() *Instance {
+	c, err := region.NewRectUnion(
+		region.MustRect(2, 4, 4, 10),
+		region.MustRect(7, 4, 9, 10),
+		region.MustRect(2, 8, 9, 10),
+	)
+	if err != nil {
+		panic(err)
+	}
+	return New().
+		MustAdd("A", region.MustRect(0, 0, 6, 6)).
+		MustAdd("B", region.MustRect(5, 0, 11, 6)).
+		MustAdd("C", c)
+}
+
+// Fig1c: two overlapping regions whose intersection A∩B has one connected
+// component. Its invariant is the paper's Example 3.1: 2 vertices, 4 edges,
+// 4 faces.
+func Fig1c() *Instance {
+	return New().
+		MustAdd("A", region.MustRect(0, 0, 4, 4)).
+		MustAdd("B", region.MustRect(2, 2, 6, 6))
+}
+
+// Fig1d: two overlapping regions whose intersection has two connected
+// components (B is a U whose arms dip into A twice); 4-intersection
+// equivalent to Fig1c but not topologically equivalent.
+func Fig1d() *Instance {
+	b, err := region.NewRectUnion(
+		region.MustRect(1, 2, 3, 8),
+		region.MustRect(6, 2, 8, 8),
+		region.MustRect(1, 6, 8, 8),
+	)
+	if err != nil {
+		panic(err)
+	}
+	return New().
+		MustAdd("A", region.MustRect(0, 0, 10, 4)).
+		MustAdd("B", b)
+}
+
+// Fig7a builds the paper's Fig 7a pair: two disconnected instances whose
+// per-component graphs are isomorphic but which are not topologically
+// equivalent because the components are embedded differently. Each instance
+// has two clusters of three regions; in I the right cluster has the same
+// vertical order (D, E, F) as the left (A, B, C), while in Iprime the right
+// cluster order is permuted (D, F, E), so the three connecting corridors
+// cannot be chosen disjoint.
+func Fig7a() (i, iprime *Instance) {
+	left := func() *Instance {
+		return New().
+			MustAdd("A", region.MustRect(0, 8, 2, 10)).
+			MustAdd("B", region.MustRect(0, 4, 2, 6)).
+			MustAdd("C", region.MustRect(0, 0, 2, 2))
+	}
+	i = left().
+		MustAdd("D", region.MustRect(10, 8, 12, 10)).
+		MustAdd("E", region.MustRect(10, 4, 12, 6)).
+		MustAdd("F", region.MustRect(10, 0, 12, 2))
+	iprime = left().
+		MustAdd("D", region.MustRect(10, 8, 12, 10)).
+		MustAdd("F", region.MustRect(10, 4, 12, 6)).
+		MustAdd("E", region.MustRect(10, 0, 12, 2))
+	return i, iprime
+}
+
+// Fig7b builds the paper's Fig 7b pair: two connected, nonsimple instances
+// distinguishable only via the cyclic orientation relation O. Four diamonds
+// touch at the origin; in I the clockwise cyclic order is A, B, C, D (so A–B
+// and C–D corridors can be disjoint); in Iprime it is A, C, B, D (they
+// cannot).
+func Fig7b() (i, iprime *Instance) {
+	q1 := geom.Ring{geom.P(0, 0), geom.P(3, 1), geom.P(4, 4), geom.P(1, 3)}
+	q2 := geom.Ring{geom.P(0, 0), geom.P(-1, 3), geom.P(-4, 4), geom.P(-3, 1)}
+	q3 := geom.Ring{geom.P(0, 0), geom.P(-3, -1), geom.P(-4, -4), geom.P(-1, -3)}
+	q4 := geom.Ring{geom.P(0, 0), geom.P(1, -3), geom.P(4, -4), geom.P(3, -1)}
+	i = New().
+		MustAdd("A", region.MustPoly(q1)).
+		MustAdd("B", region.MustPoly(q2)).
+		MustAdd("C", region.MustPoly(q3)).
+		MustAdd("D", region.MustPoly(q4))
+	iprime = New().
+		MustAdd("A", region.MustPoly(q1)).
+		MustAdd("C", region.MustPoly(q2)).
+		MustAdd("B", region.MustPoly(q3)).
+		MustAdd("D", region.MustPoly(q4))
+	return i, iprime
+}
+
+// NestedPair returns an instance with B strictly inside A, and one with B
+// disjoint from A — useful for exterior-face and nesting tests.
+func NestedPair() (nested, disjoint *Instance) {
+	nested = New().
+		MustAdd("A", region.MustRect(0, 0, 10, 10)).
+		MustAdd("B", region.MustRect(3, 3, 6, 6))
+	disjoint = New().
+		MustAdd("A", region.MustRect(0, 0, 10, 10)).
+		MustAdd("B", region.MustRect(20, 3, 23, 6))
+	return nested, disjoint
+}
+
+// InterlockedO returns an instance of two C-shaped regions interlocking to
+// form an "O": their boundaries touch at exactly two points, the middle
+// hole and the exterior both carry the label (A:−, B:−). This realizes the
+// lesson of the paper's Fig 6: the exterior face is not determined by the
+// labeling.
+func InterlockedO() *Instance {
+	// A: U-shape open to the top; B: ∩-shape open to the bottom,
+	// interlocked so they touch at (0,4) and (12,4) only.
+	a := geom.Ring{
+		geom.P(0, 0), geom.P(12, 0), geom.P(12, 4), geom.P(10, 2),
+		geom.P(2, 2), geom.P(0, 4),
+	}
+	b := geom.Ring{
+		geom.P(0, 4), geom.P(2, 6), geom.P(10, 6), geom.P(12, 4),
+		geom.P(12, 8), geom.P(0, 8),
+	}
+	return New().
+		MustAdd("A", region.MustPoly(a)).
+		MustAdd("B", region.MustPoly(b))
+}

@@ -1,0 +1,175 @@
+package spatial
+
+import (
+	"encoding/json"
+	"testing"
+
+	"topodb/internal/geom"
+	"topodb/internal/region"
+)
+
+func TestAddAndNames(t *testing.T) {
+	in := New()
+	if err := in.Add("B", region.MustRect(0, 0, 1, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Add("A", region.MustRect(2, 0, 3, 1)); err != nil {
+		t.Fatal(err)
+	}
+	got := in.Names()
+	if len(got) != 2 || got[0] != "A" || got[1] != "B" {
+		t.Fatalf("names = %v", got)
+	}
+	if err := in.Add("", region.MustRect(0, 0, 1, 1)); err == nil {
+		t.Error("empty name accepted")
+	}
+	// Replacement keeps a single entry.
+	in.MustAdd("A", region.MustRect(5, 5, 6, 6))
+	if in.Len() != 2 {
+		t.Fatalf("len = %d after replace", in.Len())
+	}
+	r := in.MustExt("A")
+	if !r.Box().MinX.Equal(geom.P(5, 5).X) {
+		t.Error("replacement not applied")
+	}
+}
+
+func TestSameNames(t *testing.T) {
+	a, b := Fig7a()
+	if !a.SameNames(b) {
+		t.Error("Fig7a instances should share names")
+	}
+	if a.SameNames(Fig1c()) {
+		t.Error("different name sets reported equal")
+	}
+}
+
+func TestFixturesSemantics(t *testing.T) {
+	// Fig1a: common point of all three.
+	i := Fig1a()
+	p := geom.P(5, 3)
+	for _, n := range i.Names() {
+		if i.MustExt(n).Locate(p) != geom.Inside {
+			t.Fatalf("Fig1a: %s should contain (5,3)", n)
+		}
+	}
+	// Fig1b: pairwise overlaps, no common point.
+	b := Fig1b()
+	pairwiseWitness := map[[2]string]geom.Pt{
+		{"A", "B"}: geom.PFrac(11, 2, 1, 1), // (5.5, 1)
+		{"A", "C"}: geom.P(3, 5),
+		{"B", "C"}: geom.P(8, 5),
+	}
+	for pair, w := range pairwiseWitness {
+		for _, n := range []string{pair[0], pair[1]} {
+			if b.MustExt(n).Locate(w) != geom.Inside {
+				t.Fatalf("Fig1b: %s should contain %s", n, w)
+			}
+		}
+	}
+	// No triple point on a probe grid.
+	for x := int64(-1); x <= 12; x++ {
+		for y := int64(-1); y <= 11; y++ {
+			p := geom.PFrac(2*x+1, 2, 2*y+1, 2)
+			inAll := true
+			for _, n := range b.Names() {
+				if b.MustExt(n).Locate(p) != geom.Inside {
+					inAll = false
+					break
+				}
+			}
+			if inAll {
+				t.Fatalf("Fig1b has a triple point near %s", p)
+			}
+		}
+	}
+}
+
+func TestFig7bTouchOnlyAtOrigin(t *testing.T) {
+	i, _ := Fig7b()
+	names := i.Names()
+	for a := 0; a < len(names); a++ {
+		for b := a + 1; b < len(names); b++ {
+			ra, rb := i.MustExt(names[a]), i.MustExt(names[b])
+			for _, ea := range ra.Boundary() {
+				for _, eb := range rb.Boundary() {
+					inter := geom.Intersect(ea, eb)
+					switch inter.Kind {
+					case geom.NoIntersection:
+					case geom.PointIntersection:
+						if !inter.P.Equal(geom.P(0, 0)) {
+							t.Fatalf("%s and %s touch at %s", names[a], names[b], inter.P)
+						}
+					default:
+						t.Fatalf("%s and %s share an arc", names[a], names[b])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestInterlockedOTouchPoints(t *testing.T) {
+	in := InterlockedO()
+	a, b := in.MustExt("A"), in.MustExt("B")
+	touches := map[string]bool{}
+	for _, ea := range a.Boundary() {
+		for _, eb := range b.Boundary() {
+			inter := geom.Intersect(ea, eb)
+			switch inter.Kind {
+			case geom.PointIntersection:
+				touches[inter.P.Key()] = true
+			case geom.OverlapIntersection:
+				t.Fatalf("A and B share an arc: %v-%v", inter.P, inter.Q)
+			}
+		}
+	}
+	if len(touches) != 2 {
+		t.Fatalf("expected 2 touch points, got %v", touches)
+	}
+	// Interiors disjoint at probes.
+	if a.Locate(geom.P(6, 1)) != geom.Inside || b.Locate(geom.P(6, 7)) != geom.Inside {
+		t.Fatal("interior probes wrong")
+	}
+	if a.Locate(geom.P(6, 4)) != geom.Outside || b.Locate(geom.P(6, 4)) != geom.Outside {
+		t.Fatal("hole probe should be outside both")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	in := Fig1b()
+	data, err := json.Marshal(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Instance
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !in.SameNames(&back) {
+		t.Fatal("names lost in round trip")
+	}
+	for _, n := range in.Names() {
+		r1, r2 := in.MustExt(n), back.MustExt(n)
+		if r1.Class() != r2.Class() {
+			t.Errorf("%s: class %v -> %v", n, r1.Class(), r2.Class())
+		}
+		ring1, ring2 := r1.Ring(), r2.Ring()
+		if len(ring1) != len(ring2) {
+			t.Fatalf("%s: ring length changed", n)
+		}
+		for i := range ring1 {
+			if !ring1[i].Equal(ring2[i]) {
+				t.Fatalf("%s: vertex %d changed", n, i)
+			}
+		}
+	}
+}
+
+func TestJSONRejectsBadRegion(t *testing.T) {
+	bad := `{"regions":[{"name":"X","ring":[["0","0"],["4","4"],["4","0"],["0","4"]]}]}`
+	var in Instance
+	if err := json.Unmarshal([]byte(bad), &in); err == nil {
+		t.Error("bowtie region accepted from JSON")
+	}
+}

@@ -1,0 +1,249 @@
+package thematic
+
+import (
+	"strings"
+	"testing"
+
+	"topodb/internal/invariant"
+	"topodb/internal/reldb"
+	"topodb/internal/spatial"
+)
+
+func mustThematic(t *testing.T, in *spatial.Instance) *reldb.DB {
+	t.Helper()
+	db, err := FromInstance(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// The paper's Example 3.6 / Fig 9: the thematic instance of Fig 1c.
+func TestFig9Fig1cThematic(t *testing.T) {
+	db := mustThematic(t, spatial.Fig1c())
+	if got := db.Rel("Vertices").Len(); got != 2 {
+		t.Errorf("Vertices = %d, want 2", got)
+	}
+	if got := db.Rel("Edges").Len(); got != 4 {
+		t.Errorf("Edges = %d, want 4", got)
+	}
+	if got := db.Rel("Faces").Len(); got != 4 {
+		t.Errorf("Faces = %d, want 4", got)
+	}
+	if got := db.Rel("ExteriorFace").Len(); got != 1 {
+		t.Errorf("ExteriorFace = %d", got)
+	}
+	// Each edge has both endpoints among the two vertices.
+	if got := db.Rel("Endpoints").Len(); got != 4 {
+		t.Errorf("Endpoints rows = %d, want 4", got)
+	}
+	// A contains 2 faces (lens + A-only), same for B (paper's Fig 9:
+	// Region-faces has entries (A,f1),(A,f3),(B,f2),(B,f3) — two each).
+	rf := db.Rel("RegionFaces")
+	countA, countB := 0, 0
+	for _, row := range rf.Rows() {
+		switch row[0] {
+		case "A":
+			countA++
+		case "B":
+			countB++
+		}
+	}
+	if countA != 2 || countB != 2 {
+		t.Errorf("RegionFaces per region = %d,%d; want 2,2", countA, countB)
+	}
+	// Orientation: 4 edges around each of 2 vertices, two directions.
+	if got := db.Rel("Orientation").Len(); got != 16 {
+		t.Errorf("Orientation rows = %d, want 16", got)
+	}
+	if err := Validate(db); err != nil {
+		t.Fatalf("valid thematic instance rejected: %v", err)
+	}
+}
+
+func TestValidateAcceptsFixtures(t *testing.T) {
+	fixtures := map[string]*spatial.Instance{
+		"fig1a": spatial.Fig1a(),
+		"fig1b": spatial.Fig1b(),
+		"fig1d": spatial.Fig1d(),
+		"O":     spatial.InterlockedO(),
+	}
+	b7, b7p := spatial.Fig7b()
+	fixtures["fig7b"], fixtures["fig7b'"] = b7, b7p
+	n, d := spatial.NestedPair()
+	fixtures["nested"], fixtures["disjoint"] = n, d
+	for name, in := range fixtures {
+		db := mustThematic(t, in)
+		if err := Validate(db); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+// Mutation tests: each corruption must be caught by the condition that
+// governs it (Theorem 3.8's integrity checking role).
+func TestValidateCatchesMutations(t *testing.T) {
+	fresh := func() *reldb.DB { return mustThematic(t, spatial.Fig1c()) }
+
+	t.Run("missing relation", func(t *testing.T) {
+		db := reldb.NewDB()
+		if err := Validate(db); err == nil {
+			t.Fatal("empty db accepted")
+		}
+	})
+	t.Run("two exterior faces", func(t *testing.T) {
+		db := fresh()
+		db.Rel("ExteriorFace").MustInsert("f0")
+		db.Rel("ExteriorFace").MustInsert("f1")
+		if err := Validate(db); err == nil || !strings.Contains(err.Error(), "(1)") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("sort overlap", func(t *testing.T) {
+		db := fresh()
+		db.Rel("Vertices").MustInsert("e0") // e0 is also an edge
+		if err := Validate(db); err == nil || !strings.Contains(err.Error(), "(1)") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("dangling endpoint", func(t *testing.T) {
+		db := fresh()
+		db.Rel("Endpoints").MustInsert("e0", "v99", "v0")
+		if err := Validate(db); err == nil || !strings.Contains(err.Error(), "(2)") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("extra face breaks Euler", func(t *testing.T) {
+		db := fresh()
+		db.Rel("Faces").MustInsert("f99")
+		db.Rel("FaceEdges").MustInsert("f99", "e0")
+		if err := Validate(db); err == nil {
+			t.Fatal("extra face accepted")
+		}
+	})
+	t.Run("region containing exterior", func(t *testing.T) {
+		db := fresh()
+		ext := db.Rel("ExteriorFace").Column(0)[0]
+		db.Rel("RegionFaces").MustInsert("A", ext)
+		if err := Validate(db); err == nil || !strings.Contains(err.Error(), "(7)") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("disconnected region faces", func(t *testing.T) {
+		// Fig1d has two lens faces; a fake region holding just the two
+		// lenses is not dual-connected.
+		db := mustThematic(t, spatial.Fig1d())
+		ti, err := invariant.New(spatial.Fig1d())
+		if err != nil {
+			t.Fatal(err)
+		}
+		db.Rel("Regions").MustInsert("X")
+		for fi, f := range ti.Faces {
+			if f.Label.Key() == "oo" {
+				db.Rel("RegionFaces").MustInsert("X", fid(fi))
+			}
+		}
+		if err := Validate(db); err == nil || !strings.Contains(err.Error(), "(7)") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("orientation missing reverse", func(t *testing.T) {
+		db := fresh()
+		rows := db.Rel("Orientation").Rows()
+		// Rebuild without one cw row.
+		no := reldb.NewRelation("Orientation", 4)
+		skipped := false
+		for _, r := range rows {
+			if !skipped && r[0] == CW {
+				skipped = true
+				continue
+			}
+			no.MustInsert(r[0], r[1], r[2], r[3])
+		}
+		db.Add(no)
+		if err := Validate(db); err == nil || !strings.Contains(err.Error(), "(4)") {
+			t.Fatalf("err = %v", err)
+		}
+	})
+	t.Run("edge bordering no face", func(t *testing.T) {
+		db := fresh()
+		db.Rel("Edges").MustInsert("e99")
+		db.Rel("Endpoints").MustInsert("e99", "v0", "v1")
+		if err := Validate(db); err == nil {
+			t.Fatal("dangling edge accepted")
+		}
+	})
+}
+
+// Corollary 3.7(ii): thematic instances are isomorphic iff instances are
+// topologically equivalent — spot-check via relation cardinalities plus the
+// invariant-level equivalence.
+func TestThematicTracksEquivalence(t *testing.T) {
+	db1 := mustThematic(t, spatial.Fig1c())
+	db2 := mustThematic(t, spatial.Fig1d())
+	same := true
+	for _, n := range db1.Names() {
+		if db2.Rel(n) == nil || db1.Rel(n).Len() != db2.Rel(n).Len() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("Fig1c and Fig1d thematic instances should differ in cardinalities")
+	}
+}
+
+// Answering a topological query on the thematic instance (the thematic
+// problem): "is there a face inside both A and B?" as a relational FO query.
+func TestQueryOnThematic(t *testing.T) {
+	db := mustThematic(t, spatial.Fig1c())
+	q := reldb.Exists{Var: "f", F: reldb.And{Fs: []reldb.Formula{
+		reldb.Atom{Rel: "RegionFaces", Terms: []reldb.Term{reldb.C("A"), reldb.V("f")}},
+		reldb.Atom{Rel: "RegionFaces", Terms: []reldb.Term{reldb.C("B"), reldb.V("f")}},
+	}}}
+	ok, err := reldb.Eval(db, q)
+	if err != nil || !ok {
+		t.Fatalf("A∩B face query: %v %v", ok, err)
+	}
+	// Disjoint squares: false.
+	_, disj := spatial.NestedPair()
+	db2 := mustThematic(t, disj)
+	ok, err = reldb.Eval(db2, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("disjoint instance should fail the query")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	db := mustThematic(t, spatial.Fig1c())
+	s := Describe(db)
+	for _, want := range []string{"Regions", "Orientation", "ExteriorFace"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Describe missing %s", want)
+		}
+	}
+}
+
+func BenchmarkThematicFig1b(b *testing.B) {
+	in := spatial.Fig1b()
+	for i := 0; i < b.N; i++ {
+		if _, err := FromInstance(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkValidateFig1b(b *testing.B) {
+	db, err := FromInstance(spatial.Fig1b())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Validate(db); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,349 @@
+package thematic
+
+import (
+	"fmt"
+	"strings"
+
+	"topodb/internal/reldb"
+)
+
+// Validate checks whether a relational instance over schema Th satisfies
+// the paper's labeled-planar-graph conditions (1)–(7) (§3, Theorem 3.8 /
+// Lemma 3.9) and so is a candidate image of the thematic mapping. It
+// returns nil when all conditions hold, or an error naming the first
+// violated condition.
+//
+// Conditions (4) and (5) are checked at the edge level exactly as the paper
+// states them; because the paper's relation O is over edges (which repeat
+// for loops), the cyclic-permutation check is performed on edge-incidence
+// multisets.
+func Validate(db *reldb.DB) error {
+	for _, name := range []string{
+		"Regions", "Vertices", "Edges", "Faces", "ExteriorFace",
+		"Endpoints", "FaceEdges", "RegionFaces", "Orientation",
+	} {
+		if db.Rel(name) == nil {
+			return fmt.Errorf("thematic: missing relation %s", name)
+		}
+	}
+	verts := asSet(db.Rel("Vertices").Column(0))
+	edges := asSet(db.Rel("Edges").Column(0))
+	faces := asSet(db.Rel("Faces").Column(0))
+	regions := asSet(db.Rel("Regions").Column(0))
+
+	// Condition (1): sorts pairwise disjoint; a single exterior face;
+	// exactly two orientation directions.
+	sets := []map[string]bool{verts, edges, faces, regions}
+	names := []string{"Vertices", "Edges", "Faces", "Regions"}
+	for i := range sets {
+		for j := i + 1; j < len(sets); j++ {
+			for x := range sets[i] {
+				if sets[j][x] {
+					return fmt.Errorf("thematic: condition (1): %s and %s share element %q", names[i], names[j], x)
+				}
+			}
+		}
+	}
+	ext := db.Rel("ExteriorFace").Column(0)
+	if len(ext) != 1 {
+		return fmt.Errorf("thematic: condition (1): ExteriorFace must have exactly one element, got %d", len(ext))
+	}
+	if !faces[ext[0]] {
+		return fmt.Errorf("thematic: condition (1): exterior face %q is not a face", ext[0])
+	}
+	dirs := db.Rel("Orientation").Column(0)
+	if db.Rel("Orientation").Len() > 0 && len(dirs) != 2 {
+		return fmt.Errorf("thematic: condition (1): Orientation must use exactly two directions, got %v", dirs)
+	}
+
+	// Condition (2): column typing.
+	for _, row := range db.Rel("Endpoints").Rows() {
+		if !edges[row[0]] || !verts[row[1]] || !verts[row[2]] {
+			return fmt.Errorf("thematic: condition (2): bad Endpoints row %v", row)
+		}
+	}
+	for _, row := range db.Rel("FaceEdges").Rows() {
+		if !faces[row[0]] || !edges[row[1]] {
+			return fmt.Errorf("thematic: condition (2): bad FaceEdges row %v", row)
+		}
+	}
+	for _, row := range db.Rel("RegionFaces").Rows() {
+		if !regions[row[0]] || !faces[row[1]] {
+			return fmt.Errorf("thematic: condition (2): bad RegionFaces row %v", row)
+		}
+	}
+	for _, row := range db.Rel("Orientation").Rows() {
+		if !verts[row[1]] || !edges[row[2]] || !edges[row[3]] {
+			return fmt.Errorf("thematic: condition (2): bad Orientation row %v", row)
+		}
+	}
+
+	// Condition (3): every edge has at most one Endpoints row, i.e. one
+	// or two endpoints (or none for a closed curve).
+	endp := map[string][2]string{}
+	for _, row := range db.Rel("Endpoints").Rows() {
+		if prev, dup := endp[row[0]]; dup && (prev[0] != row[1] || prev[1] != row[2]) {
+			return fmt.Errorf("thematic: condition (3): edge %s has conflicting endpoints", row[0])
+		}
+		endp[row[0]] = [2]string{row[1], row[2]}
+	}
+
+	// Incidence multiset: edge e is incident to v once per endpoint slot.
+	incident := map[string]map[string]int{} // vertex -> edge -> multiplicity
+	addInc := func(v, e string) {
+		if incident[v] == nil {
+			incident[v] = map[string]int{}
+		}
+		incident[v][e]++
+	}
+	for e, vv := range endp {
+		addInc(vv[0], e)
+		addInc(vv[1], e)
+	}
+
+	// Condition (4): for each direction and vertex, the orientation rows
+	// form a cyclic arrangement of the incident edge multiset: each edge
+	// occurs as a source exactly as often as its incidence multiplicity,
+	// same as a target, and the successor multigraph is connected.
+	for _, dir := range dirs {
+		for v, inc := range incident {
+			rows := selectOrient(db, dir, v)
+			srcCount := map[string]int{}
+			dstCount := map[string]int{}
+			adj := map[string][]string{}
+			for _, r := range rows {
+				srcCount[r[0]]++
+				dstCount[r[1]]++
+				adj[r[0]] = append(adj[r[0]], r[1])
+			}
+			// Orientation is a set relation, so duplicate successor
+			// pairs arising from loops collapse (as in the paper's O);
+			// counts are therefore bounded by, not equal to, the
+			// incidence multiplicity.
+			total := 0
+			for e, m := range inc {
+				total += m
+				if srcCount[e] == 0 || srcCount[e] > m || dstCount[e] == 0 || dstCount[e] > m {
+					return fmt.Errorf("thematic: condition (4): vertex %s dir %s: edge %s occurs %d/%d times, incidence %d",
+						v, dir, e, srcCount[e], dstCount[e], m)
+				}
+			}
+			if len(rows) > total {
+				return fmt.Errorf("thematic: condition (4): vertex %s dir %s: %d orientation rows for %d incidences",
+					v, dir, len(rows), total)
+			}
+			if total > 0 && !connectedMultigraph(inc, adj) {
+				return fmt.Errorf("thematic: condition (4): vertex %s dir %s: rotation is not a single cycle", v, dir)
+			}
+		}
+	}
+	// cw must be the reverse of ccw.
+	if len(dirs) == 2 {
+		o := db.Rel("Orientation")
+		for _, row := range o.Rows() {
+			rev := reldb.Tuple{other(dirs, row[0]), row[1], row[3], row[2]}
+			if !o.Contains(rev) {
+				return fmt.Errorf("thematic: condition (4): missing reverse orientation of %v", row)
+			}
+		}
+	}
+
+	// Condition (5): faces are sets of closed paths — each face's edge
+	// set is connected via shared endpoints (closed-curve edges stand
+	// alone), and every edge lies on at least one and at most two faces.
+	faceEdgeCount := map[string]int{}
+	for _, row := range db.Rel("FaceEdges").Rows() {
+		faceEdgeCount[row[1]]++
+	}
+	for e := range edges {
+		if faceEdgeCount[e] == 0 {
+			return fmt.Errorf("thematic: condition (5): edge %s borders no face", e)
+		}
+		if faceEdgeCount[e] > 2 {
+			return fmt.Errorf("thematic: condition (5): edge %s borders %d faces", e, faceEdgeCount[e])
+		}
+	}
+	for f := range faces {
+		var fe []string
+		for _, row := range db.Rel("FaceEdges").Rows() {
+			if row[0] == f {
+				fe = append(fe, row[1])
+			}
+		}
+		if len(fe) == 0 {
+			return fmt.Errorf("thematic: condition (5): face %s has no boundary edges", f)
+		}
+	}
+
+	// Condition (6): Euler's formula, adjusted for closed-curve edges
+	// (each closed curve counts as one virtual vertex) and for multiple
+	// components: V' − E + F = 1 + C.
+	nClosed := 0
+	for e := range edges {
+		if _, ok := endp[e]; !ok {
+			nClosed++
+		}
+	}
+	comps := countComponents(verts, endp, nClosed)
+	vPrime := len(verts) + nClosed
+	if vPrime-len(edges)+len(faces) != 1+comps {
+		return fmt.Errorf("thematic: condition (6): Euler violated: V'=%d E=%d F=%d C=%d",
+			vPrime, len(edges), len(faces), comps)
+	}
+
+	// Condition (7): for each region X, faces(X) and its complement are
+	// connected in the dual graph, and f0 ∉ faces(X).
+	dual := dualAdjacency(db, faces)
+	for x := range regions {
+		fx := map[string]bool{}
+		for _, row := range db.Rel("RegionFaces").Rows() {
+			if row[0] == x {
+				fx[row[1]] = true
+			}
+		}
+		if len(fx) == 0 {
+			return fmt.Errorf("thematic: condition (7): region %s has no faces", x)
+		}
+		if fx[ext[0]] {
+			return fmt.Errorf("thematic: condition (7): region %s contains the exterior face", x)
+		}
+		if !connectedSubset(fx, dual) {
+			return fmt.Errorf("thematic: condition (7): faces of region %s are not connected", x)
+		}
+		co := map[string]bool{}
+		for f := range faces {
+			if !fx[f] {
+				co[f] = true
+			}
+		}
+		if len(co) > 0 && !connectedSubset(co, dual) {
+			return fmt.Errorf("thematic: condition (7): complement of region %s is not connected", x)
+		}
+	}
+	return nil
+}
+
+func asSet(vals []string) map[string]bool {
+	m := make(map[string]bool, len(vals))
+	for _, v := range vals {
+		m[v] = true
+	}
+	return m
+}
+
+func other(dirs []string, d string) string {
+	if dirs[0] == d {
+		return dirs[1]
+	}
+	return dirs[0]
+}
+
+func selectOrient(db *reldb.DB, dir, v string) [][2]string {
+	var out [][2]string
+	for _, row := range db.Rel("Orientation").Rows() {
+		if row[0] == dir && row[1] == v {
+			out = append(out, [2]string{row[2], row[3]})
+		}
+	}
+	return out
+}
+
+func connectedMultigraph(inc map[string]int, adj map[string][]string) bool {
+	var start string
+	for e := range inc {
+		start = e
+		break
+	}
+	seen := map[string]bool{start: true}
+	stack := []string{start}
+	for len(stack) > 0 {
+		e := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range adj[e] {
+			if !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return len(seen) == len(inc)
+}
+
+func countComponents(verts map[string]bool, endp map[string][2]string, nClosed int) int {
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		if parent[x] == "" || parent[x] == x {
+			parent[x] = x
+			return x
+		}
+		parent[x] = find(parent[x])
+		return parent[x]
+	}
+	union := func(a, b string) { parent[find(a)] = find(b) }
+	for v := range verts {
+		find(v)
+	}
+	for _, vv := range endp {
+		union(vv[0], vv[1])
+	}
+	roots := map[string]bool{}
+	for v := range verts {
+		roots[find(v)] = true
+	}
+	return len(roots) + nClosed
+}
+
+func dualAdjacency(db *reldb.DB, faces map[string]bool) map[string][]string {
+	byEdge := map[string][]string{}
+	for _, row := range db.Rel("FaceEdges").Rows() {
+		byEdge[row[1]] = append(byEdge[row[1]], row[0])
+	}
+	adj := map[string][]string{}
+	for _, fs := range byEdge {
+		for i := 0; i < len(fs); i++ {
+			for j := 0; j < len(fs); j++ {
+				if i != j {
+					adj[fs[i]] = append(adj[fs[i]], fs[j])
+				}
+			}
+		}
+	}
+	_ = faces
+	return adj
+}
+
+func connectedSubset(sub map[string]bool, adj map[string][]string) bool {
+	var start string
+	for f := range sub {
+		start = f
+		break
+	}
+	seen := map[string]bool{start: true}
+	stack := []string{start}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, n := range adj[f] {
+			if sub[n] && !seen[n] {
+				seen[n] = true
+				stack = append(stack, n)
+			}
+		}
+	}
+	return len(seen) == len(sub)
+}
+
+// Describe renders the thematic instance compactly (used by cmd/benchtab
+// for the paper's Fig 9).
+func Describe(db *reldb.DB) string {
+	var b strings.Builder
+	for _, name := range db.Names() {
+		r := db.Rel(name)
+		fmt.Fprintf(&b, "%s(%d):\n", name, r.Len())
+		for _, row := range r.Rows() {
+			fmt.Fprintf(&b, "  %s\n", strings.Join(row, " "))
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,80 @@
+// Package workload generates synthetic spatial database instances used by
+// the benchmark harness: rectangle grids, overlapping chains, nested rings,
+// county-style meshes and lens stacks. Generators are deterministic in
+// their parameters (no global randomness), so benchmark runs are
+// reproducible.
+package workload
+
+import (
+	"fmt"
+
+	"topodb/internal/region"
+	"topodb/internal/spatial"
+)
+
+// RectGrid returns an n×n grid of disjoint unit-separated rectangles —
+// the simplest scaling workload (no intersections).
+func RectGrid(n int) *spatial.Instance {
+	in := spatial.New()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x, y := int64(3*i), int64(3*j)
+			in.MustAdd(fmt.Sprintf("R_%d_%d", i, j), region.MustRect(x, y, x+2, y+2))
+		}
+	}
+	return in
+}
+
+// OverlapChain returns n rectangles, each overlapping the next — a linear
+// number of pairwise intersections.
+func OverlapChain(n int) *spatial.Instance {
+	in := spatial.New()
+	for i := 0; i < n; i++ {
+		x := int64(3 * i)
+		in.MustAdd(fmt.Sprintf("C%03d", i), region.MustRect(x, 0, x+4, 4))
+	}
+	return in
+}
+
+// NestedRings returns n strictly nested squares — a deep nesting forest.
+func NestedRings(n int) *spatial.Instance {
+	in := spatial.New()
+	for i := 0; i < n; i++ {
+		d := int64(i)
+		in.MustAdd(fmt.Sprintf("N%03d", i), region.MustRect(d, d, int64(4*n)-d, int64(4*n)-d))
+	}
+	return in
+}
+
+// CountyMesh returns an n×n mesh of edge-adjacent rectangles (every
+// neighbor pair meets along a shared border) — a GIS-style map workload.
+func CountyMesh(n int) *spatial.Instance {
+	in := spatial.New()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			x, y := int64(4*i), int64(4*j)
+			in.MustAdd(fmt.Sprintf("Cty_%d_%d", i, j), region.MustRect(x, y, x+4, y+4))
+		}
+	}
+	return in
+}
+
+// LensStack returns n rectangles all overlapping a common core — a
+// high-intersection-density workload (quadratically many crossing pairs).
+func LensStack(n int) *spatial.Instance {
+	in := spatial.New()
+	for i := 0; i < n; i++ {
+		d := int64(i)
+		in.MustAdd(fmt.Sprintf("L%03d", i), region.MustRect(d, -d, d+10, 10-d))
+	}
+	return in
+}
+
+// CirclePair returns two overlapping discretized circles with the given
+// sampling density — used for the exact-vs-float and discretization
+// ablations.
+func CirclePair(samples int) *spatial.Instance {
+	return spatial.New().
+		MustAdd("A", region.MustCircle(0, 0, 8, samples)).
+		MustAdd("B", region.MustCircle(6, 0, 8, samples))
+}

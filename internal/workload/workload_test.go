@@ -1,0 +1,123 @@
+package workload
+
+import (
+	"testing"
+
+	"topodb/internal/arrange"
+	"topodb/internal/fourint"
+	"topodb/internal/invariant"
+)
+
+func TestRectGridDisjoint(t *testing.T) {
+	in := RectGrid(3)
+	if in.Len() != 9 {
+		t.Fatalf("len = %d", in.Len())
+	}
+	rels, err := fourint.AllPairs(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, r := range rels {
+		if r != fourint.Disjoint {
+			t.Fatalf("%v: %v, want disjoint", k, r)
+		}
+	}
+}
+
+func TestOverlapChainStructure(t *testing.T) {
+	in := OverlapChain(5)
+	rels, err := fourint.AllPairs(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := in.Names()
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			want := fourint.Disjoint
+			if j == i+1 {
+				want = fourint.Overlap
+			}
+			if got := rels[[2]string{names[i], names[j]}]; got != want {
+				t.Fatalf("%s-%s: %v, want %v", names[i], names[j], got, want)
+			}
+		}
+	}
+}
+
+func TestNestedRingsStructure(t *testing.T) {
+	in := NestedRings(4)
+	rels, err := fourint.AllPairs(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := in.Names()
+	for i := 0; i < len(names); i++ {
+		for j := i + 1; j < len(names); j++ {
+			// Later names are strictly inside earlier ones.
+			if got := rels[[2]string{names[j], names[i]}]; got != fourint.Inside {
+				t.Fatalf("%s in %s: %v", names[j], names[i], got)
+			}
+		}
+	}
+	ti, err := invariant.New(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ti.Connected() {
+		t.Fatal("nested rings are separate components")
+	}
+	if len(ti.Comps) != 4 {
+		t.Fatalf("components = %d", len(ti.Comps))
+	}
+}
+
+func TestCountyMeshMeets(t *testing.T) {
+	in := CountyMesh(2)
+	rel, err := fourint.Relate(in, "Cty_0_0", "Cty_0_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != fourint.Meet {
+		t.Fatalf("adjacent counties: %v", rel)
+	}
+	rel, err = fourint.Relate(in, "Cty_0_0", "Cty_1_1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != fourint.Meet { // corner touch is still meet
+		t.Fatalf("diagonal counties: %v", rel)
+	}
+}
+
+func TestLensStackBuildable(t *testing.T) {
+	in := LensStack(6)
+	a, err := arrange.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, e, f := a.Stats()
+	c := len(a.Comps)
+	if v-e+f != 1+c {
+		t.Fatalf("Euler violated: %d-%d+%d vs 1+%d", v, e, f, c)
+	}
+}
+
+func TestCirclePairOverlap(t *testing.T) {
+	in := CirclePair(16)
+	rel, err := fourint.Relate(in, "A", "B")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel != fourint.Overlap {
+		t.Fatalf("circles: %v", rel)
+	}
+}
+
+// Determinism: generators are pure functions of their parameters.
+func TestDeterminism(t *testing.T) {
+	a, _ := invariant.New(OverlapChain(6))
+	b, _ := invariant.New(OverlapChain(6))
+	if a.Canonical() != b.Canonical() {
+		t.Fatal("generator not deterministic")
+	}
+}

@@ -1,0 +1,270 @@
+// Package xform implements the paper's permutation groups of the plane
+// (§2): symmetries S, piecewise-linear maps L, and homeomorphism
+// surrogates H (compositions of the former plus reflections), together
+// with the Fig 4 invariance table — which region class is closed under
+// which group — and a genericity testing harness for queries.
+package xform
+
+import (
+	"fmt"
+
+	"topodb/internal/geom"
+	"topodb/internal/rat"
+	"topodb/internal/region"
+	"topodb/internal/spatial"
+)
+
+// Map is a bijection of the plane applied pointwise to region vertices.
+// All maps in this package are exact on rational points.
+type Map struct {
+	Name string
+	F    func(geom.Pt) geom.Pt
+	// Group names the smallest of the paper's groups containing the map:
+	// "S", "L", or "H" (homeomorphism not in S ∪ L).
+	Group string
+	// Subdivide, when set, inserts the points at which the map bends
+	// straight segments (e.g. the seam of a piecewise-linear map), so
+	// that mapping vertices represents the true image of a polygon.
+	Subdivide func(geom.Ring) geom.Ring
+}
+
+// ring returns the source ring prepared for mapping.
+func (m Map) ring(r geom.Ring) geom.Ring {
+	if m.Subdivide == nil {
+		return r
+	}
+	return m.Subdivide(r)
+}
+
+// Apply transforms every region of an instance, re-deriving the most
+// specific class the image still belongs to.
+func Apply(m Map, in *spatial.Instance) (*spatial.Instance, error) {
+	out := spatial.New()
+	for _, n := range in.Names() {
+		r := in.MustExt(n)
+		ring := m.ring(r.Ring())
+		img := make(geom.Ring, len(ring))
+		for i, p := range ring {
+			img[i] = m.F(p)
+		}
+		nr, err := region.NewPoly(img)
+		if err != nil {
+			return nil, fmt.Errorf("xform: %s destroys region %s: %w", m.Name, n, err)
+		}
+		// Keep the declared class when the image still qualifies.
+		if rc, err2 := nr.AsClass(r.Class()); err2 == nil {
+			nr = rc
+		}
+		if err := out.Add(n, nr); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Translation returns the translation by (dx, dy); it belongs to S ∩ L.
+func Translation(dx, dy int64) Map {
+	d := geom.P(dx, dy)
+	return Map{Name: fmt.Sprintf("translate(%d,%d)", dx, dy), Group: "S",
+		F: func(p geom.Pt) geom.Pt { return p.Add(d) }}
+}
+
+// AxisScale returns (x,y) ↦ (sx·x, sy·y) for positive rational factors;
+// a symmetry (each coordinate map is increasing) and also linear.
+func AxisScale(sx, sy rat.R) Map {
+	return Map{Name: fmt.Sprintf("scale(%s,%s)", sx, sy), Group: "S",
+		F: func(p geom.Pt) geom.Pt { return geom.Pt{X: p.X.Mul(sx), Y: p.Y.Mul(sy)} }}
+}
+
+// AxisSwap returns (x,y) ↦ (y,x), a symmetry.
+func AxisSwap() Map {
+	return Map{Name: "swap", Group: "S",
+		F: func(p geom.Pt) geom.Pt { return geom.Pt{X: p.Y, Y: p.X} }}
+}
+
+// CubeSymmetry returns the symmetry (x,y) ↦ (x³, y) with the monotone
+// increasing but nonlinear ρ(x) = x³. It maps non-vertical/horizontal
+// lines to curves, so Poly and Alg are not closed under it (Fig 4) —
+// for polygonal inputs we approximate its effect on a region by mapping
+// vertices only, which is exactly how the Fig 4 closure failures are
+// witnessed (a rectangle's image stays a rectangle; a tilted edge's
+// vertex image no longer bounds the true image).
+func CubeSymmetry() Map {
+	cube := func(v rat.R) rat.R { return v.Mul(v).Mul(v) }
+	return Map{Name: "cube-x", Group: "S",
+		F: func(p geom.Pt) geom.Pt { return geom.Pt{X: cube(p.X), Y: cube(p.Y)} }}
+}
+
+// Shear returns the linear map (x,y) ↦ (x+k·y, y), in L but not in S.
+func Shear(k rat.R) Map {
+	return Map{Name: fmt.Sprintf("shear(%s)", k), Group: "L",
+		F: func(p geom.Pt) geom.Pt { return geom.Pt{X: p.X.Add(k.Mul(p.Y)), Y: p.Y} }}
+}
+
+// Rotate90 returns the linear rotation (x,y) ↦ (−y, x).
+func Rotate90() Map {
+	return Map{Name: "rot90", Group: "L",
+		F: func(p geom.Pt) geom.Pt { return geom.Pt{X: p.Y.Neg(), Y: p.X} }}
+}
+
+// PiecewiseLinear returns the paper's 2-piece map: identity for x ≤ x1,
+// and a sheared continuation for x > x1 (continuous on the seam).
+func PiecewiseLinear(x1 int64, k rat.R) Map {
+	seam := rat.FromInt(x1)
+	return Map{Name: fmt.Sprintf("pl(x1=%d)", x1), Group: "L",
+		F: func(p geom.Pt) geom.Pt {
+			if p.X.LessEq(seam) {
+				return p
+			}
+			// (x,y) ↦ (x, y + k(x−x1)): continuous, linear on each piece.
+			return geom.Pt{X: p.X, Y: p.Y.Add(k.Mul(p.X.Sub(seam)))}
+		},
+		Subdivide: func(r geom.Ring) geom.Ring {
+			var out geom.Ring
+			n := len(r)
+			for i := 0; i < n; i++ {
+				a, b := r[i], r[(i+1)%n]
+				out = append(out, a)
+				// Insert the seam crossing when the edge straddles it.
+				if (a.X.Less(seam) && seam.Less(b.X)) || (b.X.Less(seam) && seam.Less(a.X)) {
+					t := seam.Sub(a.X).Div(b.X.Sub(a.X))
+					out = append(out, geom.Lerp(a, b, t))
+				}
+			}
+			return out
+		}}
+}
+
+// Reflect returns the reflection (x,y) ↦ (−x, y) — a homeomorphism that
+// is orientation-reversing (isotopic to a reflection, per the paper's
+// discussion after Lemma 3.2).
+func Reflect() Map {
+	return Map{Name: "reflect", Group: "H",
+		F: func(p geom.Pt) geom.Pt { return geom.Pt{X: p.X.Neg(), Y: p.Y} }}
+}
+
+// StandardMaps returns a representative sample of maps from each group,
+// used by the genericity harness and the Fig 4 table.
+func StandardMaps() []Map {
+	return []Map{
+		Translation(7, -3),
+		AxisScale(rat.FromInt(3), rat.FromFrac(1, 2)),
+		AxisSwap(),
+		CubeSymmetry(),
+		Shear(rat.FromInt(1)),
+		Rotate90(),
+		PiecewiseLinear(2, rat.FromInt(1)),
+		Reflect(),
+	}
+}
+
+// ClassInvariance reports whether applying m to a representative region of
+// class c yields a region still in class c — the empirical content of the
+// paper's Fig 4 table.
+func ClassInvariance(m Map, c region.Class) bool {
+	var samples []region.Region
+	switch c {
+	case region.Rect:
+		samples = []region.Region{region.MustRect(1, 1, 5, 3)}
+	case region.RectUnion:
+		ru, err := region.NewRectUnion(region.MustRect(1, 1, 5, 3), region.MustRect(2, 2, 4, 7))
+		if err != nil {
+			panic(err)
+		}
+		samples = []region.Region{ru}
+	case region.Poly, region.Alg:
+		samples = []region.Region{
+			region.MustPoly(geom.Ring{geom.P(1, 1), geom.P(6, 2), geom.P(4, 6)}),
+		}
+	case region.Disc:
+		samples = []region.Region{
+			region.MustPoly(geom.Ring{geom.P(1, 1), geom.P(6, 2), geom.P(4, 6), geom.P(2, 5)}),
+		}
+	}
+	for _, s := range samples {
+		in := spatial.New().MustAdd("R", s)
+		out, err := Apply(m, in)
+		if err != nil {
+			return false
+		}
+		img := out.MustExt("R")
+		switch c {
+		case region.Rect:
+			if !img.IsRectangle() {
+				return false
+			}
+		case region.RectUnion:
+			if !img.IsRectilinear() {
+				return false
+			}
+		case region.Poly, region.Alg:
+			// A polygon image is a polygon iff mapping the vertices
+			// maps the edges: verify edge midpoints map onto the image
+			// edges (exactly true for linear pieces, false for e.g. the
+			// cube symmetry on tilted edges).
+			if !edgesPreserved(m, s, img) {
+				return false
+			}
+		case region.Disc:
+			// Any of our maps keeps a disc a disc.
+		}
+	}
+	return true
+}
+
+// edgesPreserved checks that the image of each edge midpoint lies on the
+// corresponding image edge (the exactness witness for linearity on edges).
+func edgesPreserved(m Map, src, img region.Region) bool {
+	sr, ir := m.ring(src.Ring()), img.Ring()
+	if len(sr) != len(ir) {
+		return false
+	}
+	// Rings may have been renormalized (rotation/orientation), so test
+	// against all image edges.
+	imgEdges := ir.Edges()
+	for i := range sr {
+		mid := geom.Mid(sr[i], sr[(i+1)%len(sr)])
+		p := m.F(mid)
+		on := false
+		for _, e := range imgEdges {
+			if e.Contains(p) {
+				on = true
+				break
+			}
+		}
+		if !on {
+			return false
+		}
+	}
+	return true
+}
+
+// Fig4Row describes one row of the paper's Fig 4 table.
+type Fig4Row struct {
+	Class     region.Class
+	UnderS    bool
+	UnderL    bool
+	UnderRefl bool
+}
+
+// Fig4Table computes the invariance table empirically over StandardMaps.
+func Fig4Table() []Fig4Row {
+	classes := []region.Class{region.Rect, region.RectUnion, region.Poly, region.Alg, region.Disc}
+	var rows []Fig4Row
+	for _, c := range classes {
+		row := Fig4Row{Class: c, UnderS: true, UnderL: true, UnderRefl: true}
+		for _, m := range StandardMaps() {
+			ok := ClassInvariance(m, c)
+			switch m.Group {
+			case "S":
+				row.UnderS = row.UnderS && ok
+			case "L":
+				row.UnderL = row.UnderL && ok
+			default:
+				row.UnderRefl = row.UnderRefl && ok
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -1,0 +1,156 @@
+package xform
+
+import (
+	"testing"
+
+	"topodb/internal/geom"
+	"topodb/internal/invariant"
+	"topodb/internal/rat"
+	"topodb/internal/region"
+	"topodb/internal/spatial"
+)
+
+func TestApplyPreservesTopology(t *testing.T) {
+	base := spatial.Fig1b()
+	ti, err := invariant.New(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []Map{
+		Translation(100, -50),
+		AxisScale(rat.FromInt(2), rat.FromInt(5)),
+		Shear(rat.FromInt(2)),
+		Rotate90(),
+		Reflect(),
+		AxisSwap(),
+	} {
+		img, err := Apply(m, base)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		tj, err := invariant.New(img)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if !invariant.Equivalent(ti, tj) {
+			t.Errorf("%s changed the invariant (it is a homeomorphism)", m.Name)
+		}
+	}
+}
+
+// PiecewiseLinear preserves topology but not rectangles.
+func TestPiecewiseLinear(t *testing.T) {
+	m := PiecewiseLinear(2, rat.FromInt(1))
+	in := spatial.New().MustAdd("A", region.MustRect(0, 0, 4, 4))
+	img, err := Apply(m, in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if img.MustExt("A").IsRectangle() {
+		t.Error("piecewise-linear image of a rectangle crossing the seam should not be a rectangle")
+	}
+	ti, _ := invariant.New(in)
+	tj, _ := invariant.New(img)
+	if !invariant.Equivalent(ti, tj) {
+		t.Error("piecewise-linear map changed the invariant")
+	}
+	// Continuity on the seam: points with x <= 2 are fixed.
+	p := geom.P(2, 7)
+	if !m.F(p).Equal(p) {
+		t.Error("seam point moved")
+	}
+}
+
+// The paper's Fig 4 table:
+//
+//	        S      L      reflections (H columns beyond S, L)
+//	Rect    yes    no     no (a rotated rectangle is not a rectangle — but
+//	                       reflections keep it; see row checks below)
+//	Rect*   yes    no
+//	Poly    no     yes
+//	Alg     no     yes
+//	Disc    yes    yes
+func TestFig4Table(t *testing.T) {
+	rows := Fig4Table()
+	want := map[region.Class][2]bool{ // S, L
+		region.Rect:      {true, false},
+		region.RectUnion: {true, false},
+		region.Poly:      {false, true},
+		region.Alg:       {false, true},
+		region.Disc:      {true, true},
+	}
+	for _, row := range rows {
+		w, ok := want[row.Class]
+		if !ok {
+			t.Fatalf("unexpected class %v", row.Class)
+		}
+		if row.UnderS != w[0] {
+			t.Errorf("%v under S = %v, want %v", row.Class, row.UnderS, w[0])
+		}
+		if row.UnderL != w[1] {
+			t.Errorf("%v under L = %v, want %v", row.Class, row.UnderL, w[1])
+		}
+	}
+}
+
+// Specific Fig 4 witnesses.
+func TestFig4Witnesses(t *testing.T) {
+	// Rect is closed under symmetries (axis scale, swap, cube)...
+	for _, m := range []Map{AxisScale(rat.FromInt(3), rat.FromInt(2)), AxisSwap(), CubeSymmetry()} {
+		if !ClassInvariance(m, region.Rect) {
+			t.Errorf("Rect should be closed under %s", m.Name)
+		}
+	}
+	// ...but not under shear (L).
+	if ClassInvariance(Shear(rat.FromInt(1)), region.Rect) {
+		t.Error("Rect must not be closed under shear")
+	}
+	// Poly is closed under shear and rotation (L)...
+	for _, m := range []Map{Shear(rat.FromInt(1)), Rotate90()} {
+		if !ClassInvariance(m, region.Poly) {
+			t.Errorf("Poly should be closed under %s", m.Name)
+		}
+	}
+	// ...but not under the cube symmetry (tilted edges become curves).
+	if ClassInvariance(CubeSymmetry(), region.Poly) {
+		t.Error("Poly must not be closed under the cube symmetry")
+	}
+	// Disc is closed under everything we have.
+	for _, m := range StandardMaps() {
+		if !ClassInvariance(m, region.Disc) {
+			t.Errorf("Disc should be closed under %s", m.Name)
+		}
+	}
+}
+
+// Genericity harness: the invariant is H-generic — it must agree across
+// every standard map; a deliberately non-generic "query" (bounding-box
+// width) must disagree for some map.
+func TestGenericityHarness(t *testing.T) {
+	base := spatial.Fig1c()
+	width := func(in *spatial.Instance) string {
+		b, _ := in.Box()
+		return b.MaxX.Sub(b.MinX).String()
+	}
+	sawDifferentWidth := false
+	ti, _ := invariant.New(base)
+	for _, m := range StandardMaps() {
+		img, err := Apply(m, base)
+		if err != nil {
+			continue
+		}
+		tj, err := invariant.New(img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !invariant.Equivalent(ti, tj) {
+			t.Errorf("invariant not generic under %s", m.Name)
+		}
+		if width(img) != width(base) {
+			sawDifferentWidth = true
+		}
+	}
+	if !sawDifferentWidth {
+		t.Error("width should not be generic under the standard maps")
+	}
+}

@@ -1,0 +1,252 @@
+// Package topodb is a spatial database library for topological queries,
+// reproducing Papadimitriou, Suciu & Vianu, "Topological Queries in
+// Spatial Databases" (PODS 1996 / JCSS 1999).
+//
+// The library provides:
+//
+//   - a spatial data model (named regions with exact rational polygonal
+//     boundaries, covering the paper's Rect, Rect*, Poly and simulated
+//     Alg/Disc classes),
+//   - the topological invariant T_I (§3): a finite structure that
+//     characterizes an instance up to homeomorphism, with an effective
+//     equivalence test (Theorem 3.4),
+//   - the thematic mapping into a classical relational database and the
+//     invariant validity check (Corollary 3.7, Theorem 3.8),
+//   - Egenhofer's eight 4-intersection relations (§2),
+//   - the region-based query language FO(Region, Region′) with the §7
+//     cell-quantifier semantics, and the point-based FO(P, <x, <y),
+//   - topological inference (path consistency and satisfiability over
+//     relation networks, §6 / [GPP95]),
+//   - a Fáry/Tutte polygonal-representative construction (Theorem 3.5).
+//
+// Quick start:
+//
+//	db := topodb.NewInstance()
+//	db.AddRect("A", 0, 0, 4, 4)
+//	db.AddRect("B", 2, 2, 6, 6)
+//	rel, _ := db.Relate("A", "B")        // overlap
+//	inv, _ := db.Invariant()             // T_I
+//	ok, _ := db.Query("some cell r: subset(r, A) and subset(r, B)")
+package topodb
+
+import (
+	"fmt"
+
+	"topodb/internal/fary"
+	"topodb/internal/folang"
+	"topodb/internal/fourint"
+	"topodb/internal/geom"
+	"topodb/internal/invariant"
+	"topodb/internal/rat"
+	"topodb/internal/region"
+	"topodb/internal/reldb"
+	"topodb/internal/spatial"
+	"topodb/internal/thematic"
+)
+
+// Instance is a spatial database instance: a finite set of named regions.
+type Instance struct {
+	in *spatial.Instance
+}
+
+// NewInstance returns an empty instance.
+func NewInstance() *Instance { return &Instance{in: spatial.New()} }
+
+// wrap adopts an internal instance.
+func wrap(in *spatial.Instance) *Instance { return &Instance{in: in} }
+
+// Internal returns the underlying instance for advanced use with the
+// internal packages (examples and benchmarks in this module).
+func (db *Instance) Internal() *spatial.Instance { return db.in }
+
+// AddRect adds an open axis-parallel rectangle (x1,y1)-(x2,y2).
+func (db *Instance) AddRect(name string, x1, y1, x2, y2 int64) error {
+	r, err := region.NewRect(rat.FromInt(x1), rat.FromInt(y1), rat.FromInt(x2), rat.FromInt(y2))
+	if err != nil {
+		return err
+	}
+	return db.in.Add(name, r)
+}
+
+// AddPolygon adds a simple polygon given by its vertices (x,y pairs).
+func (db *Instance) AddPolygon(name string, coords ...int64) error {
+	if len(coords) < 6 || len(coords)%2 != 0 {
+		return fmt.Errorf("topodb: polygon needs >= 3 (x,y) pairs")
+	}
+	ring := make(geom.Ring, 0, len(coords)/2)
+	for i := 0; i+1 < len(coords); i += 2 {
+		ring = append(ring, geom.P(coords[i], coords[i+1]))
+	}
+	r, err := region.NewPoly(ring)
+	if err != nil {
+		return err
+	}
+	return db.in.Add(name, r)
+}
+
+// AddCircle adds a discretized circle (an Alg region: all vertices lie
+// exactly on the circle) with at least n boundary vertices.
+func (db *Instance) AddCircle(name string, cx, cy, radius int64, n int) error {
+	r, err := region.NewCircle(rat.FromInt(cx), rat.FromInt(cy), rat.FromInt(radius), n)
+	if err != nil {
+		return err
+	}
+	return db.in.Add(name, r)
+}
+
+// AddRectUnion adds a Rect* region: the union of the given rectangles
+// (each four int64 coordinates), which must form a disc.
+func (db *Instance) AddRectUnion(name string, rects ...[4]int64) error {
+	rs := make([]region.Region, 0, len(rects))
+	for _, q := range rects {
+		rs = append(rs, region.MustRect(q[0], q[1], q[2], q[3]))
+	}
+	r, err := region.NewRectUnion(rs...)
+	if err != nil {
+		return err
+	}
+	return db.in.Add(name, r)
+}
+
+// Names returns the region names in sorted order.
+func (db *Instance) Names() []string { return db.in.Names() }
+
+// Relation re-exports the eight 4-intersection relations.
+type Relation = fourint.Relation
+
+// The eight relations (§2, Fig 2).
+const (
+	Disjoint  = fourint.Disjoint
+	Meet      = fourint.Meet
+	EqualRel  = fourint.Equal
+	Overlap   = fourint.Overlap
+	Inside    = fourint.Inside
+	Contains  = fourint.Contains
+	CoveredBy = fourint.CoveredBy
+	Covers    = fourint.Covers
+)
+
+// Relate classifies the 4-intersection relation between two regions.
+func (db *Instance) Relate(a, b string) (Relation, error) {
+	return fourint.Relate(db.in, a, b)
+}
+
+// AllRelations computes the relation for every ordered pair.
+func (db *Instance) AllRelations() (map[[2]string]Relation, error) {
+	return fourint.AllPairs(db.in)
+}
+
+// Invariant is the topological invariant T_I of an instance.
+type Invariant struct {
+	t *invariant.T
+}
+
+// Invariant computes T_I (§3, Theorem 3.4).
+func (db *Instance) Invariant() (*Invariant, error) {
+	t, err := invariant.New(db.in)
+	if err != nil {
+		return nil, err
+	}
+	return &Invariant{t: t}, nil
+}
+
+// Stats returns the invariant's cell counts (vertices, edges, faces).
+func (iv *Invariant) Stats() (v, e, f int) { return iv.t.Stats() }
+
+// Connected reports whether the instance's skeleton is connected.
+func (iv *Invariant) Connected() bool { return iv.t.Connected() }
+
+// Simple reports whether the instance is simple in the paper's sense.
+func (iv *Invariant) Simple() bool { return iv.t.Simple() }
+
+// Canonical returns the canonical encoding: equal encodings (over equal
+// name sets) mean topologically equivalent instances.
+func (iv *Invariant) Canonical() string { return iv.t.Canonical() }
+
+// String pretty-prints the invariant.
+func (iv *Invariant) String() string { return iv.t.String() }
+
+// Internal exposes the underlying structure for advanced use.
+func (iv *Invariant) Internal() *invariant.T { return iv.t }
+
+// Equivalent reports whether two instances are topologically equivalent —
+// related by a homeomorphism of the plane fixing region names
+// (Theorem 3.4).
+func Equivalent(a, b *Instance) (bool, error) {
+	ta, err := a.Invariant()
+	if err != nil {
+		return false, err
+	}
+	tb, err := b.Invariant()
+	if err != nil {
+		return false, err
+	}
+	return invariant.Equivalent(ta.t, tb.t), nil
+}
+
+// FourIntersectionEquivalent reports whether two instances are
+// 4-intersection equivalent (§2) — a strictly coarser relation than
+// topological equivalence (Fig 1).
+func FourIntersectionEquivalent(a, b *Instance) (bool, error) {
+	return fourint.EquivalentInstances(a.in, b.in)
+}
+
+// Thematic computes the relational image thematic(I) over schema Th
+// (§3, Corollary 3.7). Topological queries on the instance become
+// classical relational queries on the result.
+func (db *Instance) Thematic() (*reldb.DB, error) {
+	return thematic.FromInstance(db.in)
+}
+
+// ValidateThematic checks the labeled-planar-graph integrity conditions
+// (1)–(7) of Theorem 3.8 on a relational instance over schema Th.
+func ValidateThematic(d *reldb.DB) error { return thematic.Validate(d) }
+
+// Query parses and evaluates a region-based query (§4/§7 semantics) with
+// default options and no grid refinement. The language:
+//
+//	some|all region|cell|name x: φ
+//	φ ::= pred(t, t) | t = t | not φ | φ and φ | φ or φ | φ implies φ
+//	pred ∈ {disjoint, meet, equal, overlap, inside, contains,
+//	        covers, coveredby, connect, subset}
+func (db *Instance) Query(src string) (bool, error) {
+	return db.QueryRefined(src, 0)
+}
+
+// QueryRefined evaluates a query on the arrangement refined by a k×k
+// scaffold grid (finer cells admit more witness regions for the strong
+// quantifier; k = 0 is the paper's plain cell complex).
+func (db *Instance) QueryRefined(src string, k int) (bool, error) {
+	u, err := folang.NewUniverse(db.in, k)
+	if err != nil {
+		return false, err
+	}
+	return folang.NewEvaluator(u).EvalQuery(src)
+}
+
+// PolygonalRepresentative returns a Poly instance topologically
+// equivalent to this one (Theorem 3.5); keepEvery > 1 coarsens
+// discretized boundaries.
+func (db *Instance) PolygonalRepresentative(keepEvery int) (*Instance, error) {
+	out, err := fary.Polygonalize(db.in, keepEvery)
+	if err != nil {
+		return nil, err
+	}
+	return wrap(out), nil
+}
+
+// SEquivalent reports whether two instances are equivalent up to a
+// symmetry (the paper's group S of monotone coordinate maps), decided via
+// the S-invariant of Theorem 6.1 / Fig 14 — a strictly finer relation
+// than topological equivalence.
+func SEquivalent(a, b *Instance) (bool, error) {
+	sa, err := invariant.SInvariant(a.in)
+	if err != nil {
+		return false, err
+	}
+	sb, err := invariant.SInvariant(b.in)
+	if err != nil {
+		return false, err
+	}
+	return invariant.Equivalent(sa, sb), nil
+}

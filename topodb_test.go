@@ -1,0 +1,122 @@
+package topodb
+
+import "testing"
+
+func buildFig1c(t *testing.T) *Instance {
+	t.Helper()
+	db := NewInstance()
+	if err := db.AddRect("A", 0, 0, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddRect("B", 2, 2, 6, 6); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	db := buildFig1c(t)
+	rel, err := db.Relate("A", "B")
+	if err != nil || rel != Overlap {
+		t.Fatalf("Relate = %v, %v", rel, err)
+	}
+	iv, err := db.Invariant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, e, f := iv.Stats(); v != 2 || e != 4 || f != 4 {
+		t.Fatalf("stats = %d,%d,%d", v, e, f)
+	}
+	if !iv.Simple() || !iv.Connected() {
+		t.Error("Fig1c invariant should be simple and connected")
+	}
+	ok, err := db.Query("some cell r: subset(r, A) and subset(r, B)")
+	if err != nil || !ok {
+		t.Fatalf("query: %v %v", ok, err)
+	}
+	th, err := db.Thematic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateThematic(th); err != nil {
+		t.Fatal(err)
+	}
+	poly, err := db.PolygonalRepresentative(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, err := Equivalent(db, poly)
+	if err != nil || !eq {
+		t.Fatalf("polygonal representative not equivalent: %v %v", eq, err)
+	}
+}
+
+func TestPublicAPIEquivalences(t *testing.T) {
+	a := NewInstance()
+	a.AddRect("A", 0, 0, 6, 6)
+	a.AddRect("B", 4, -1, 10, 7)
+	a.AddRect("C", 3, 2, 8, 9)
+
+	b := NewInstance()
+	b.AddRect("A", 0, 0, 6, 6)
+	b.AddRect("B", 5, 0, 11, 6)
+	if err := b.AddRectUnion("C", [4]int64{2, 4, 4, 10}, [4]int64{7, 4, 9, 10}, [4]int64{2, 8, 9, 10}); err != nil {
+		t.Fatal(err)
+	}
+	fi, err := FourIntersectionEquivalent(a, b)
+	if err != nil || !fi {
+		t.Fatalf("should be 4-intersection equivalent: %v %v", fi, err)
+	}
+	eq, err := Equivalent(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq {
+		t.Fatal("must not be topologically equivalent")
+	}
+}
+
+func TestPublicAPICircleAndPolygon(t *testing.T) {
+	db := NewInstance()
+	if err := db.AddCircle("A", 0, 0, 10, 16); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddPolygon("B", 30, 0, 40, 0, 35, 8); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := db.Relate("A", "B")
+	if err != nil || rel != Disjoint {
+		t.Fatalf("Relate = %v %v", rel, err)
+	}
+	if err := db.AddPolygon("bad", 0, 0, 1, 1); err == nil {
+		t.Error("two-point polygon accepted")
+	}
+}
+
+func TestPublicAPISEquivalent(t *testing.T) {
+	offset := NewInstance()
+	offset.AddRect("A", 0, 0, 4, 4)
+	offset.AddRect("B", 8, 6, 12, 10)
+	aligned := NewInstance()
+	aligned.AddRect("A", 0, 0, 4, 4)
+	aligned.AddRect("B", 8, 0, 12, 4)
+	eq, err := Equivalent(offset, aligned)
+	if err != nil || !eq {
+		t.Fatalf("H-equivalent expected: %v %v", eq, err)
+	}
+	seq, err := SEquivalent(offset, aligned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq {
+		t.Fatal("differently aligned instances must not be S-equivalent")
+	}
+	// A pure axis scaling keeps S-equivalence.
+	scaled := NewInstance()
+	scaled.AddRect("A", 0, 0, 8, 12)
+	scaled.AddRect("B", 16, 18, 24, 30)
+	seq, err = SEquivalent(offset, scaled)
+	if err != nil || !seq {
+		t.Fatalf("axis-scaled copy should be S-equivalent: %v %v", seq, err)
+	}
+}
