@@ -9,6 +9,7 @@ package topodb
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"topodb/internal/arrange"
@@ -366,6 +367,139 @@ func BenchmarkAblationCanonicalCache(b *testing.B) {
 				b.Fatal(err)
 			}
 			_ = t.Canonical()
+		}
+	})
+}
+
+// ---- Cached query engine: repeated queries skip the arrangement ----
+
+// BenchmarkCachedQuery contrasts a cold query (fresh instance: the
+// arrangement and universe are built from scratch) with warm queries on an
+// unchanged instance, which hit the generation-stamped artifact cache and
+// reduce to pure relational evaluation over the memoized cell complex.
+// The caching engine's acceptance bar is warm >= 5x faster than cold.
+func BenchmarkCachedQuery(b *testing.B) {
+	const q = "some cell r: subset(r, C000) and subset(r, C001)"
+	queries := []string{
+		q,
+		"overlap(C000, C001)",
+		"disjoint(C000, C011)",
+		"meet(C002, C003)",
+	}
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			db := wrap(workload.OverlapChain(12))
+			if ok, err := db.Query(q); err != nil || !ok {
+				b.Fatal(ok, err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		b.ReportAllocs()
+		db := wrap(workload.OverlapChain(12))
+		if ok, err := db.Query(q); err != nil || !ok {
+			b.Fatal(ok, err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ok, err := db.Query(q); err != nil || !ok {
+				b.Fatal(ok, err)
+			}
+		}
+	})
+	b.Run("warm_batch", func(b *testing.B) {
+		db := wrap(workload.OverlapChain(12))
+		if _, err := db.QueryBatch(queries); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.QueryBatch(queries); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkCachedRelate measures the all-pairs path: cold rebuilds the
+// arrangement per call (fresh instance), warm classifies from the cached
+// one.
+func BenchmarkCachedRelate(b *testing.B) {
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			db := wrap(workload.LensStack(8))
+			if _, err := db.AllRelations(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		db := wrap(workload.LensStack(8))
+		if _, err := db.AllRelations(); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := db.AllRelations(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// ---- Parallel arrangement: the pairwise split on a worker pool ----
+
+// BenchmarkParallelArrange measures arrange.Build with the worker pool at
+// the machine's GOMAXPROCS against the sequential reference (GOMAXPROCS=1
+// routes every par helper onto the one-worker path). The combinatorial
+// output is identical either way (see arrange's determinism tests).
+func BenchmarkParallelArrange(b *testing.B) {
+	in := workload.LensStack(16)
+	b.Run(fmt.Sprintf("parallel/procs=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := arrange.Build(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		old := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(old)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := arrange.Build(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParallelAllPairs measures the worker-pool pair classification
+// against the sequential path on a dense instance.
+func BenchmarkParallelAllPairs(b *testing.B) {
+	in := workload.LensStack(12)
+	a, err := arrange.Build(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run(fmt.Sprintf("parallel/procs=%d", runtime.GOMAXPROCS(0)), func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fourint.AllPairsFrom(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("sequential", func(b *testing.B) {
+		old := runtime.GOMAXPROCS(1)
+		defer runtime.GOMAXPROCS(old)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fourint.AllPairsFrom(a); err != nil {
+				b.Fatal(err)
+			}
 		}
 	})
 }

@@ -1,0 +1,181 @@
+package topodb
+
+import (
+	"fmt"
+	"sync"
+
+	"topodb/internal/arrange"
+	"topodb/internal/folang"
+	"topodb/internal/fourint"
+	"topodb/internal/invariant"
+	"topodb/internal/reldb"
+	"topodb/internal/thematic"
+)
+
+// artifactKind enumerates the derived artifacts an Instance memoizes. The
+// artifacts form a derivation chain — arrangement → invariant → thematic,
+// arrangement → universe(0), arrangement → relations — so one arrangement
+// build feeds every consumer.
+type artifactKind int8
+
+const (
+	arrangementKind artifactKind = iota
+	universeKind
+	invariantKind
+	sinvariantKind
+	thematicKind
+	relationsKind
+)
+
+// artifactKey identifies one cache slot; k is the refinement level and is
+// meaningful only for universeKind.
+type artifactKey struct {
+	kind artifactKind
+	k    int
+}
+
+// cacheEntry is a single-flight slot: the first requester computes, every
+// concurrent requester waits on done and shares the result.
+type cacheEntry struct {
+	done chan struct{} // closed once val and err are set
+	val  any
+	err  error
+}
+
+// artifactCache is a generation-stamped memo of derived artifacts. Entries
+// are valid for exactly one spatial-instance generation: when the
+// requested generation differs from the stamped one the whole map is
+// discarded, so a mutation invalidates everything at once and stale
+// in-flight computations complete harmlessly into dropped entries.
+type artifactCache struct {
+	mu      sync.Mutex
+	gen     uint64
+	entries map[artifactKey]*cacheEntry
+}
+
+// get returns the artifact for key at generation gen, invoking build at
+// most once per (generation, key) — concurrent callers for the same key
+// block until the winning computation publishes its result. build runs
+// without the cache lock held, so builds for different keys proceed in
+// parallel and may themselves call get (the derivation chain nests).
+func (c *artifactCache) get(gen uint64, key artifactKey, build func() (any, error)) (any, error) {
+	c.mu.Lock()
+	if c.entries == nil || c.gen != gen {
+		c.entries = make(map[artifactKey]*cacheEntry)
+		c.gen = gen
+	}
+	if e, ok := c.entries[key]; ok {
+		c.mu.Unlock()
+		<-e.done
+		return e.val, e.err
+	}
+	e := &cacheEntry{done: make(chan struct{})}
+	c.entries[key] = e
+	c.mu.Unlock()
+	// A panicking build must still publish: otherwise every waiter on this
+	// entry blocks forever. Waiters get an error; the panic propagates to
+	// the builder's caller.
+	defer func() {
+		if r := recover(); r != nil {
+			e.val, e.err = nil, fmt.Errorf("topodb: artifact build panicked: %v", r)
+			close(e.done)
+			panic(r)
+		}
+	}()
+	e.val, e.err = build()
+	close(e.done)
+	return e.val, e.err
+}
+
+// The typed accessors below are the only consumers of the cache. All of
+// them must be called with db.mu held (read or write): the lock guarantees
+// the spatial instance — and therefore its generation — cannot move while
+// a build is in flight, which is what makes the generation stamp coherent.
+
+// arrangement returns the memoized cell complex of the instance.
+func (db *Instance) arrangement() (*arrange.Arrangement, error) {
+	v, err := db.cache.get(db.in.Gen(), artifactKey{kind: arrangementKind}, func() (any, error) {
+		return arrange.Build(db.in)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*arrange.Arrangement), nil
+}
+
+// universe returns the memoized query universe at refinement level k. The
+// unrefined universe is derived from the shared arrangement; refined ones
+// need their own scaffolded arrangement.
+func (db *Instance) universe(k int) (*folang.Universe, error) {
+	v, err := db.cache.get(db.in.Gen(), artifactKey{kind: universeKind, k: k}, func() (any, error) {
+		if k == 0 {
+			a, err := db.arrangement()
+			if err != nil {
+				return nil, err
+			}
+			return folang.NewUniverseFromArrangement(a, db.in)
+		}
+		return folang.NewUniverse(db.in, k)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*folang.Universe), nil
+}
+
+// invariantT returns the memoized topological invariant T_I.
+func (db *Instance) invariantT() (*invariant.T, error) {
+	v, err := db.cache.get(db.in.Gen(), artifactKey{kind: invariantKind}, func() (any, error) {
+		a, err := db.arrangement()
+		if err != nil {
+			return nil, err
+		}
+		return invariant.FromArrangement(a)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*invariant.T), nil
+}
+
+// sinvariantT returns the memoized S-invariant (Theorem 6.1).
+func (db *Instance) sinvariantT() (*invariant.T, error) {
+	v, err := db.cache.get(db.in.Gen(), artifactKey{kind: sinvariantKind}, func() (any, error) {
+		return invariant.SInvariant(db.in)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*invariant.T), nil
+}
+
+// thematicDB returns the memoized relational image thematic(I).
+func (db *Instance) thematicDB() (*reldb.DB, error) {
+	v, err := db.cache.get(db.in.Gen(), artifactKey{kind: thematicKind}, func() (any, error) {
+		t, err := db.invariantT()
+		if err != nil {
+			return nil, err
+		}
+		return thematic.FromInvariant(t), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*reldb.DB), nil
+}
+
+// relations returns the memoized all-pairs relation map. Callers must not
+// mutate it; the public AllRelations copies.
+func (db *Instance) relations() (map[[2]string]Relation, error) {
+	v, err := db.cache.get(db.in.Gen(), artifactKey{kind: relationsKind}, func() (any, error) {
+		a, err := db.arrangement()
+		if err != nil {
+			return nil, err
+		}
+		return fourint.AllPairsFrom(a)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(map[[2]string]Relation), nil
+}

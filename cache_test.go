@@ -1,0 +1,282 @@
+package topodb
+
+import (
+	"runtime"
+	"sync"
+	"testing"
+
+	"topodb/internal/invariant"
+	"topodb/internal/workload"
+)
+
+func chainInstance(t testing.TB, n int) *Instance {
+	t.Helper()
+	return wrap(workload.OverlapChain(n))
+}
+
+// TestCacheReusesArtifacts checks the singleflight memo actually shares
+// structures: two Invariant calls on an unchanged instance return views of
+// the same underlying T, and two Thematic calls the same DB.
+func TestCacheReusesArtifacts(t *testing.T) {
+	db := chainInstance(t, 6)
+	iv1, err := db.Invariant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv2, err := db.Invariant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv1.Internal() != iv2.Internal() {
+		t.Fatal("repeated Invariant() on an unchanged instance rebuilt T_I")
+	}
+	d1, err := db.Thematic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := db.Thematic()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1 != d2 {
+		t.Fatal("repeated Thematic() on an unchanged instance rebuilt the DB")
+	}
+}
+
+// TestCacheInvalidationOnMutation mutates after Invariant()/Query() and
+// asserts every read path observes the new region.
+func TestCacheInvalidationOnMutation(t *testing.T) {
+	db := NewInstance()
+	if err := db.AddRect("A", 0, 0, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddRect("B", 2, 2, 6, 6); err != nil {
+		t.Fatal(err)
+	}
+	iv1, err := db.Invariant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := db.Query("some cell r: subset(r, A) and subset(r, B)")
+	if err != nil || !ok {
+		t.Fatalf("warm-up query: %v, %v", ok, err)
+	}
+	if _, err := db.Query("overlap(A, C)"); err == nil {
+		t.Fatal("query naming absent region C should fail before the mutation")
+	}
+
+	// Mutate: C overlaps A but not B.
+	if err := db.AddRect("C", -2, -2, 1, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	iv2, err := db.Invariant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv1.Internal() == iv2.Internal() {
+		t.Fatal("Invariant() after a mutation returned the stale cached T_I")
+	}
+	v1, e1, f1 := iv1.Stats()
+	v2, e2, f2 := iv2.Stats()
+	if v1 == v2 && e1 == e2 && f1 == f2 {
+		t.Fatalf("stats unchanged after adding a region: (%d,%d,%d)", v2, e2, f2)
+	}
+	ok, err = db.Query("overlap(A, C)")
+	if err != nil || !ok {
+		t.Fatalf("post-mutation query must see C: %v, %v", ok, err)
+	}
+	rels, err := db.AllRelations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rels[[2]string{"B", "C"}] != Disjoint {
+		t.Fatalf("B vs C = %v, want disjoint", rels[[2]string{"B", "C"}])
+	}
+
+	// Replacing an existing region must also invalidate.
+	if err := db.AddRect("C", 100, 100, 104, 104); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = db.Query("overlap(A, C)")
+	if err != nil || ok {
+		t.Fatalf("replaced C no longer overlaps A: %v, %v", ok, err)
+	}
+}
+
+// TestConcurrentQueriesIdentical hammers one instance from many goroutines
+// (run under -race in CI): all callers must agree, and the cache must hand
+// every one of them the same underlying invariant.
+func TestConcurrentQueriesIdentical(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4)) // real worker shards even on 1 CPU
+	db := chainInstance(t, 8)
+	queries := []string{
+		"some cell r: subset(r, C000) and subset(r, C001)",
+		"overlap(C000, C001)",
+		"disjoint(C000, C007)",
+		"meet(C002, C003)",
+	}
+	want, err := db.QueryBatch(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 16
+	var wg sync.WaitGroup
+	results := make([][]bool, goroutines)
+	invs := make([]*invariant.T, goroutines)
+	errs := make([]error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			if g%2 == 0 {
+				res, err := db.QueryBatch(queries)
+				results[g], errs[g] = res, err
+			} else {
+				res := make([]bool, len(queries))
+				for i, q := range queries {
+					ok, err := db.Query(q)
+					if err != nil {
+						errs[g] = err
+						return
+					}
+					res[i] = ok
+				}
+				results[g] = res
+			}
+			iv, err := db.Invariant()
+			if err != nil {
+				errs[g] = err
+				return
+			}
+			invs[g] = iv.Internal()
+			_ = iv.Canonical()
+		}(g)
+	}
+	wg.Wait()
+	for g := 0; g < goroutines; g++ {
+		if errs[g] != nil {
+			t.Fatalf("goroutine %d: %v", g, errs[g])
+		}
+		for i := range queries {
+			if results[g][i] != want[i] {
+				t.Fatalf("goroutine %d query %d: got %v, want %v", g, i, results[g][i], want[i])
+			}
+		}
+		if invs[g] != invs[0] {
+			t.Fatalf("goroutine %d received a different invariant", g)
+		}
+	}
+}
+
+// TestConcurrentMutateAndQuery interleaves writers and readers; every read
+// must reflect a consistent (pre- or post-mutation) state and never crash
+// or return an error.
+func TestConcurrentMutateAndQuery(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	db := NewInstance()
+	if err := db.AddRect("A", 0, 0, 4, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.AddRect("B", 2, 2, 6, 6); err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 8; i++ {
+			x := int64(10 + 3*i)
+			if err := db.AddRect("X", x, 0, x+2, 2); err != nil {
+				t.Error(err)
+			}
+		}
+		close(stop)
+	}()
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if ok, err := db.Query("overlap(A, B)"); err != nil || !ok {
+					t.Errorf("overlap(A, B): %v, %v", ok, err)
+					return
+				}
+				if _, err := db.AllRelations(); err != nil {
+					t.Error(err)
+					return
+				}
+				for _, n := range db.Names() {
+					if n == "" {
+						t.Error("empty name observed during mutation")
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestCachedCanonicalMatchesSequential asserts the canonical invariant
+// encoding from the cached, parallel path is byte-identical to a fresh
+// sequential computation (GOMAXPROCS=1 forces every par helper onto the
+// one-worker reference path).
+func TestCachedCanonicalMatchesSequential(t *testing.T) {
+	for _, mk := range map[string]func() *Instance{
+		"overlap_chain": func() *Instance { return wrap(workload.OverlapChain(16)) },
+		"lens_stack":    func() *Instance { return wrap(workload.LensStack(10)) },
+		"county_mesh":   func() *Instance { return wrap(workload.CountyMesh(3)) },
+	} {
+		old := runtime.GOMAXPROCS(4) // worker-pool path
+		db := mk()
+		iv, err := db.Invariant()
+		if err != nil {
+			runtime.GOMAXPROCS(old)
+			t.Fatal(err)
+		}
+		parallel := iv.Canonical()
+
+		runtime.GOMAXPROCS(1) // sequential reference path
+		seq, err := invariant.New(mk().Internal())
+		runtime.GOMAXPROCS(old)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := seq.Canonical(); got != parallel {
+			t.Fatalf("canonical encodings diverge:\nparallel:   %s\nsequential: %s", parallel, got)
+		}
+	}
+}
+
+// TestQueryBatchMatchesSingle checks batch evaluation agrees with one-off
+// Query calls, including on a refined universe.
+func TestQueryBatchMatchesSingle(t *testing.T) {
+	db := chainInstance(t, 6)
+	queries := []string{
+		"overlap(C000, C001)",
+		"some cell r: subset(r, C000)",
+		"disjoint(C000, C005)",
+	}
+	for _, k := range []int{0, 2} {
+		batch, err := db.QueryBatchRefined(queries, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, q := range queries {
+			single, err := db.QueryRefined(q, k)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batch[i] != single {
+				t.Fatalf("k=%d query %d: batch %v, single %v", k, i, batch[i], single)
+			}
+		}
+	}
+}

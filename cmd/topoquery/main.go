@@ -5,6 +5,12 @@
 //
 //	topoquery -in instance.json -q "some cell r: subset(r, A) and subset(r, B)" [-refine k]
 //	topoquery -fixture fig1c -q "overlap(A, B)"
+//	topoquery -fixture fig1c -batch -q "overlap(A, B)" -q "meet(A, B)" -q "disjoint(A, B)"
+//
+// -q may be repeated. With -batch (or more than one -q) the queries are
+// served through the instance's batched engine: the arrangement and query
+// universe are built once, cached, and shared, and the queries are
+// evaluated concurrently on a bounded worker pool.
 //
 // The JSON format is {"regions":[{"name":"A","ring":[["0","0"],["4","0"],...]}]}
 // with exact rational coordinates as strings.
@@ -16,34 +22,51 @@ import (
 	"fmt"
 	"os"
 
-	"topodb/internal/folang"
+	"topodb"
 	"topodb/internal/spatial"
 )
+
+type queryList []string
+
+func (q *queryList) String() string { return fmt.Sprint(*q) }
+func (q *queryList) Set(s string) error {
+	*q = append(*q, s)
+	return nil
+}
 
 func main() {
 	var (
 		inFile  = flag.String("in", "", "instance JSON file")
 		fixture = flag.String("fixture", "", "built-in fixture: fig1a, fig1b, fig1c, fig1d, O")
-		query   = flag.String("q", "", "query in the region-based language")
 		refine  = flag.Int("refine", 0, "scaffold grid refinement (k x k)")
+		batch   = flag.Bool("batch", false, "serve all -q queries through the batched cached engine")
+		queries queryList
 	)
+	flag.Var(&queries, "q", "query in the region-based language (repeatable)")
 	flag.Parse()
 	in, err := loadInstance(*inFile, *fixture)
 	if err != nil {
 		fatal(err)
 	}
-	if *query == "" {
+	if len(queries) == 0 {
 		fatal(fmt.Errorf("missing -q query"))
 	}
-	u, err := folang.NewUniverse(in, *refine)
+	db := topodb.Wrap(in)
+	if *batch || len(queries) > 1 {
+		results, err := db.QueryBatchRefined(queries, *refine)
+		if err != nil {
+			fatal(err)
+		}
+		for i, q := range queries {
+			fmt.Printf("%v\t%s\n", results[i], q)
+		}
+		return
+	}
+	ok, err := db.QueryRefined(queries[0], *refine)
 	if err != nil {
 		fatal(err)
 	}
-	ok, err := folang.NewEvaluator(u).EvalQuery(*query)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("%s\n%v\n", u, ok)
+	fmt.Printf("%v\n", ok)
 }
 
 func loadInstance(file, fixture string) (*spatial.Instance, error) {

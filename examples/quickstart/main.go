@@ -30,17 +30,19 @@ func main() {
 	fmt.Printf("invariant: %d vertices, %d edges, %d faces (connected=%v)\n",
 		v, e, f, inv.Connected())
 
-	// Region-based queries (the paper's FO(Region, Region') language).
+	// Region-based queries (the paper's FO(Region, Region') language),
+	// served as one batch: the cached universe is built once and the
+	// queries are evaluated concurrently.
 	queries := []string{
 		"inside(Island, Lake)",
 		"some cell r: subset(r, Lake) and subset(r, Harbor)",
 		"all name a: connect(a, a)",
 		"some name a: some name b: (not a = b) and inside(a, b)",
 	}
-	for _, q := range queries {
-		ok, err := db.Query(q)
-		must(err)
-		fmt.Printf("%-55s -> %v\n", q, ok)
+	results, err := db.QueryBatch(queries)
+	must(err)
+	for i, q := range queries {
+		fmt.Printf("%-55s -> %v\n", q, results[i])
 	}
 
 	// Topological equivalence: a stretched copy is homeomorphic.

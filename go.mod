@@ -1,0 +1,3 @@
+module topodb
+
+go 1.22

@@ -4,7 +4,13 @@ import (
 	"sort"
 
 	"topodb/internal/geom"
+	"topodb/internal/par"
 )
+
+// parallelPairMin is the segment count below which the pairwise
+// intersection loop stays sequential: for small inputs the goroutine
+// hand-off costs more than the O(n²) rational-arithmetic loop itself.
+const parallelPairMin = 48
 
 // splitSegments cuts every input segment at each point where it meets
 // another segment (crossings, T-junctions, touching endpoints, and the
@@ -12,25 +18,81 @@ import (
 // merging owner sets of coincident pieces. The output is a set of
 // interior-disjoint segments meeting only at shared endpoints — the 1-
 // skeleton of the arrangement.
+//
+// The pairwise intersection pass — the arrangement's asymptotic hot spot —
+// runs on a bounded worker pool (par.Shards). The piece list is
+// nevertheless deterministic: cut points are sorted per segment before
+// pieces are emitted, so discovery order never leaks into the output and
+// canonical encodings stay byte-stable across worker counts.
 func splitSegments(segs []ownedSeg) []ownedSeg {
+	return assemblePieces(segs, findCuts(segs, len(segs) >= parallelPairMin))
+}
+
+// findCuts returns, for each segment, its endpoints plus every point where
+// another segment meets it. With parallel set, unordered pairs (i, j) are
+// examined by a bounded worker pool, each worker accumulating into a
+// private buffer that is merged afterwards; otherwise the classic
+// sequential double loop runs. Both paths produce the same multiset of cut
+// points per segment.
+func findCuts(segs []ownedSeg, parallel bool) [][]geom.Pt {
 	n := len(segs)
 	cuts := make([][]geom.Pt, n)
 	for i := range segs {
 		cuts[i] = append(cuts[i], segs[i].s.A, segs[i].s.B)
 	}
-	for i := 0; i < n; i++ {
+	shards := 1
+	if parallel {
+		shards = par.Shards(n)
+	}
+	if shards == 1 {
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				inter := geom.Intersect(segs[i].s, segs[j].s)
+				switch inter.Kind {
+				case geom.PointIntersection:
+					cuts[i] = append(cuts[i], inter.P)
+					cuts[j] = append(cuts[j], inter.P)
+				case geom.OverlapIntersection:
+					cuts[i] = append(cuts[i], inter.P, inter.Q)
+					cuts[j] = append(cuts[j], inter.P, inter.Q)
+				}
+			}
+		}
+		return cuts
+	}
+	type cut struct {
+		row int
+		p   geom.Pt
+	}
+	locals := make([][]cut, shards)
+	// Rows are claimed dynamically: row i costs n-1-i intersection tests,
+	// so static striping would leave the last worker nearly idle.
+	par.ForShard(shards, n, func(w, i int) {
+		buf := locals[w]
 		for j := i + 1; j < n; j++ {
 			inter := geom.Intersect(segs[i].s, segs[j].s)
 			switch inter.Kind {
 			case geom.PointIntersection:
-				cuts[i] = append(cuts[i], inter.P)
-				cuts[j] = append(cuts[j], inter.P)
+				buf = append(buf, cut{i, inter.P}, cut{j, inter.P})
 			case geom.OverlapIntersection:
-				cuts[i] = append(cuts[i], inter.P, inter.Q)
-				cuts[j] = append(cuts[j], inter.P, inter.Q)
+				buf = append(buf,
+					cut{i, inter.P}, cut{i, inter.Q},
+					cut{j, inter.P}, cut{j, inter.Q})
 			}
 		}
+		locals[w] = buf
+	})
+	for _, buf := range locals {
+		for _, c := range buf {
+			cuts[c.row] = append(cuts[c.row], c.p)
+		}
 	}
+	return cuts
+}
+
+// assemblePieces sorts each segment's cut points, emits the nondegenerate
+// pieces in segment order, and merges owner sets of coincident pieces.
+func assemblePieces(segs []ownedSeg, cuts [][]geom.Pt) []ownedSeg {
 	type pieceKey struct{ a, b string }
 	merged := make(map[pieceKey]int)
 	var out []ownedSeg

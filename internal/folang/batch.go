@@ -1,0 +1,42 @@
+package folang
+
+import (
+	"fmt"
+
+	"topodb/internal/par"
+)
+
+// EvaluateAll parses and evaluates a batch of closed queries against one
+// shared universe. Parsing is sequential (errors are reported for the
+// first bad query, by input position); evaluation fans out over a bounded
+// worker pool with one Evaluator per query — the Universe is read-only
+// during evaluation, so concurrent evaluators are safe. results[i] is the
+// verdict of srcs[i].
+func EvaluateAll(u *Universe, srcs []string) ([]bool, error) {
+	fs := make([]Formula, len(srcs))
+	for i, src := range srcs {
+		f, err := Parse(src)
+		if err != nil {
+			return nil, fmt.Errorf("folang: query %d: %w", i, err)
+		}
+		fs[i] = f
+	}
+	return EvalAll(u, fs)
+}
+
+// EvalAll evaluates pre-parsed closed formulas against one shared universe
+// on a bounded worker pool. The first error by input position wins, so the
+// outcome is deterministic regardless of scheduling.
+func EvalAll(u *Universe, fs []Formula) ([]bool, error) {
+	results := make([]bool, len(fs))
+	errs := make([]error, len(fs))
+	par.For(len(fs), func(i int) {
+		results[i], errs[i] = NewEvaluator(u).Eval(fs[i])
+	})
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("folang: query %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,65 @@
+package folang
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"topodb/internal/spatial"
+)
+
+func TestEvaluateAllMatchesSequential(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4)) // engage the worker pool even on 1 CPU
+	u, err := NewUniverse(spatial.Fig1c(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []string{
+		"overlap(A, B)",
+		"some cell r: subset(r, A) and subset(r, B)",
+		"all cell r: subset(r, A) implies connect(r, A)",
+		"disjoint(A, B)",
+		"not disjoint(A, B)",
+	}
+	got, err := EvaluateAll(u, queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(queries) {
+		t.Fatalf("got %d results for %d queries", len(got), len(queries))
+	}
+	for i, q := range queries {
+		want, err := NewEvaluator(u).EvalQuery(q)
+		if err != nil {
+			t.Fatalf("query %d: %v", i, err)
+		}
+		if got[i] != want {
+			t.Errorf("query %d (%s): batch %v, sequential %v", i, q, got[i], want)
+		}
+	}
+}
+
+func TestEvaluateAllParseErrorPosition(t *testing.T) {
+	u, err := NewUniverse(spatial.Fig1c(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = EvaluateAll(u, []string{"overlap(A, B)", "some cell", "also bad"})
+	if err == nil {
+		t.Fatal("expected a parse error")
+	}
+	if want := "query 1"; !strings.Contains(err.Error(), want) {
+		t.Fatalf("error %q does not name the first bad query (%s)", err, want)
+	}
+}
+
+func TestEvaluateAllEmpty(t *testing.T) {
+	u, err := NewUniverse(spatial.Fig1c(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvaluateAll(u, nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("empty batch: %v, %v", res, err)
+	}
+}

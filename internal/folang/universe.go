@@ -96,6 +96,17 @@ func NewUniverse(in *spatial.Instance, refine int) (*Universe, error) {
 	return newUniverseFrom(a, in)
 }
 
+// NewUniverseFromArrangement builds the evaluation context from an
+// arrangement that was already computed for the instance (as by
+// arrange.Build). It is the cache-friendly entry point: callers that
+// memoize the arrangement share it between the invariant, the thematic
+// image, and the query universe instead of rebuilding it per consumer. The
+// universe only reads the arrangement, so one arrangement may back many
+// universes concurrently.
+func NewUniverseFromArrangement(a *arrange.Arrangement, in *spatial.Instance) (*Universe, error) {
+	return newUniverseFrom(a, in)
+}
+
 func newUniverseFrom(a *arrange.Arrangement, in *spatial.Instance) (*Universe, error) {
 	u := &Universe{
 		A: a, In: in,

@@ -13,6 +13,7 @@ import (
 	"fmt"
 
 	"topodb/internal/arrange"
+	"topodb/internal/par"
 	"topodb/internal/spatial"
 )
 
@@ -161,19 +162,37 @@ func AllPairs(in *spatial.Instance) (map[[2]string]Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := make(map[[2]string]Relation)
+	return AllPairsFrom(a)
+}
+
+// AllPairsFrom computes the relation for every ordered pair of distinct
+// region names from an existing arrangement. Each unordered pair is
+// classified once — the reverse direction is its Inverse — on a bounded
+// worker pool; results are merged in pair order, so the output (and the
+// first reported error) is deterministic regardless of scheduling.
+func AllPairsFrom(a *arrange.Arrangement) (map[[2]string]Relation, error) {
 	names := a.Names
-	for i := 0; i < len(names); i++ {
-		for j := 0; j < len(names); j++ {
-			if i == j {
-				continue
-			}
-			rel, err := Classify(MatrixOf(a, i, j))
-			if err != nil {
-				return nil, fmt.Errorf("fourint: %s vs %s: %w", names[i], names[j], err)
-			}
-			out[[2]string{names[i], names[j]}] = rel
+	n := len(names)
+	type pair struct{ i, j int }
+	pairs := make([]pair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			pairs = append(pairs, pair{i, j})
 		}
+	}
+	rels := make([]Relation, len(pairs))
+	errs := make([]error, len(pairs))
+	par.For(len(pairs), func(k int) {
+		p := pairs[k]
+		rels[k], errs[k] = Classify(MatrixOf(a, p.i, p.j))
+	})
+	out := make(map[[2]string]Relation, 2*len(pairs))
+	for k, p := range pairs {
+		if errs[k] != nil {
+			return nil, fmt.Errorf("fourint: %s vs %s: %w", names[p.i], names[p.j], errs[k])
+		}
+		out[[2]string{names[p.i], names[p.j]}] = rels[k]
+		out[[2]string{names[p.j], names[p.i]}] = rels[k].Inverse()
 	}
 	return out, nil
 }

@@ -1,11 +1,13 @@
 package fourint
 
 import (
+	"runtime"
 	"testing"
 
 	"topodb/internal/geom"
 	"topodb/internal/region"
 	"topodb/internal/spatial"
+	"topodb/internal/workload"
 )
 
 // canonicalConfigs returns one instance {A, B} per relation — the paper's
@@ -114,6 +116,46 @@ func TestAllPairsMatchesPairwise(t *testing.T) {
 			if got := all[[2]string{names[i], names[j]}]; got != want {
 				t.Errorf("%s-%s: all-pairs %v, pairwise %v", names[i], names[j], got, want)
 			}
+		}
+	}
+}
+
+// TestAllPairsLargeMatchesPairwise exercises the worker-pool path on an
+// instance with enough pairs to spread across several workers, checking the
+// parallel classification agrees with pairwise Relate and that repeated
+// runs produce identical maps.
+func TestAllPairsLargeMatchesPairwise(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4)) // engage the worker pool even on 1 CPU
+	in := workload.OverlapChain(12)
+	all, err := AllPairs(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := in.Names()
+	if want := len(names) * (len(names) - 1); len(all) != want {
+		t.Fatalf("all-pairs has %d entries, want %d", len(all), want)
+	}
+	for i := range names {
+		for j := range names {
+			if i == j {
+				continue
+			}
+			want, err := Relate(in, names[i], names[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := all[[2]string{names[i], names[j]}]; got != want {
+				t.Errorf("%s-%s: all-pairs %v, pairwise %v", names[i], names[j], got, want)
+			}
+		}
+	}
+	again, err := AllPairs(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range all {
+		if again[k] != v {
+			t.Fatalf("%v: first run %v, second run %v", k, v, again[k])
 		}
 	}
 }

@@ -18,8 +18,12 @@ import (
 
 // Canonical returns the canonical encoding of the invariant. Two instances
 // over the same names are topologically equivalent iff their canonical
-// encodings are equal.
+// encodings are equal. Canonical is safe for concurrent use: the lazily
+// computed encodings are guarded, so a T shared by a derived-artifact
+// cache may be canonicalized from many goroutines.
 func (t *T) Canonical() string {
+	t.canonMu.Lock()
+	defer t.canonMu.Unlock()
 	plus := t.encodeInstance(false)
 	minus := t.encodeInstance(true)
 	if plus <= minus {

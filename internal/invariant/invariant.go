@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"topodb/internal/arrange"
 	"topodb/internal/spatial"
@@ -90,7 +91,8 @@ type T struct {
 	Comps    []Comp
 	Exterior int
 
-	canon [2]string // cached canonical encodings per chirality
+	canonMu sync.Mutex // guards canon (T values are shared by caches)
+	canon   [2]string  // cached canonical encodings per chirality
 }
 
 // Stats returns the cell counts (vertices, edges, faces) of the maximal

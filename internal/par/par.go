@@ -1,0 +1,73 @@
+// Package par provides the bounded-concurrency primitives used by the hot
+// loops of this module (pairwise segment intersection in arrange, per-pair
+// classification in fourint, batched query evaluation in folang).
+//
+// All helpers bound their parallelism by runtime.GOMAXPROCS(0): the module
+// never spawns more workers than the scheduler can run, and with
+// GOMAXPROCS=1 every helper degrades to a plain sequential loop, which
+// doubles as the reference path in determinism tests.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers returns the worker-pool size: runtime.GOMAXPROCS(0).
+func Workers() int { return runtime.GOMAXPROCS(0) }
+
+// Shards returns the number of worker shards used for an n-iteration
+// parallel loop: min(Workers(), n), and at least 1. Callers size per-shard
+// accumulation buffers with it before invoking ForShard.
+func Shards(n int) int {
+	s := Workers()
+	if n < s {
+		s = n
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// For runs fn(i) for every i in [0, n), distributing iterations over up to
+// Workers() goroutines and returning once all calls complete. Iterations
+// are claimed dynamically (an atomic cursor), so uneven per-iteration costs
+// balance across workers. fn must be safe for concurrent invocation; when
+// only one worker is available the loop runs sequentially in order.
+func For(n int, fn func(i int)) {
+	ForShard(Shards(n), n, func(_, i int) { fn(i) })
+}
+
+// ForShard is For with the executing worker's shard index (in [0, shards))
+// passed through, so callers can accumulate into per-shard buffers without
+// locking. shards should come from Shards(n). With shards <= 1 the loop
+// runs sequentially in iteration order on shard 0.
+func ForShard(shards, n int, fn func(shard, i int)) {
+	if n <= 0 {
+		return
+	}
+	if shards <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for w := 0; w < shards; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,56 @@
+package par
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversAllIterations(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4)) // engage the pool even on 1 CPU
+	for _, n := range []int{0, 1, 7, 1000} {
+		var hits = make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: iteration %d ran %d times", n, i, h)
+			}
+		}
+	}
+}
+
+func TestForShardShardBounds(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	const n = 500
+	shards := Shards(n)
+	if shards < 1 || shards > n || shards > Workers() {
+		t.Fatalf("Shards(%d) = %d out of bounds (workers=%d)", n, shards, Workers())
+	}
+	var total int64
+	seen := make([]int64, shards)
+	ForShard(shards, n, func(w, i int) {
+		if w < 0 || w >= shards {
+			t.Errorf("shard %d out of range", w)
+		}
+		atomic.AddInt64(&seen[w], 1)
+		atomic.AddInt64(&total, 1)
+	})
+	if total != n {
+		t.Fatalf("ran %d of %d iterations", total, n)
+	}
+}
+
+func TestForShardSequentialInOrder(t *testing.T) {
+	var order []int
+	ForShard(1, 10, func(w, i int) {
+		if w != 0 {
+			t.Fatalf("sequential loop used shard %d", w)
+		}
+		order = append(order, i)
+	})
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("sequential loop out of order: %v", order)
+		}
+	}
+}

@@ -17,7 +17,14 @@ import (
 type Instance struct {
 	names []string // sorted
 	ext   map[string]region.Region
+	gen   uint64 // mutation counter; see Gen
 }
+
+// Gen returns the instance's generation: a counter bumped by every
+// mutation (Add, including replacement, and UnmarshalJSON). Derived-
+// artifact caches stamp their entries with the generation they were
+// computed at and discard them when it moves.
+func (in *Instance) Gen() uint64 { return in.gen }
 
 // New returns an empty instance.
 func New() *Instance {
@@ -42,6 +49,7 @@ func (in *Instance) Add(name string, r region.Region) error {
 		in.names[i] = name
 	}
 	in.ext[name] = r
+	in.gen++
 	return nil
 }
 
@@ -140,7 +148,12 @@ func (in *Instance) UnmarshalJSON(data []byte) error {
 	if err := json.Unmarshal(data, &raw); err != nil {
 		return err
 	}
+	// Continue the generation counter across the reset so caches stamped
+	// with a pre-decode generation can never collide with post-decode
+	// content.
+	gen := in.gen + 1
 	*in = *New()
+	in.gen = gen
 	for _, jr := range raw.Regions {
 		ring, err := parseRing(jr.Ring)
 		if err != nil {

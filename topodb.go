@@ -19,6 +19,24 @@
 //     relation networks, §6 / [GPP95]),
 //   - a Fáry/Tutte polygonal-representative construction (Theorem 3.5).
 //
+// # Caching and concurrency
+//
+// The paper's central complexity result is that the expensive step of
+// topological query answering is building the invariant structure; after
+// that, queries are classical relational evaluation. Instance mirrors the
+// split: every derived artifact — the planar arrangement, the query
+// universe per refinement level, the invariant T_I, the S-invariant, the
+// thematic relational image, and the all-pairs relation table — is
+// computed once per mutation generation and memoized. Repeated queries on
+// an unchanged instance skip the arrangement rebuild entirely; any Add*
+// mutation invalidates the whole cache atomically. Concurrent readers
+// (Query, QueryBatch, Relate, Invariant, Thematic, ...) are safe and share
+// a single in-flight computation per artifact; mutators serialize against
+// readers. The one escape hatch is Internal(): callers that mutate the
+// returned spatial instance directly must not do so concurrently with
+// reads (mutations through it are still detected between calls, because
+// the cache is stamped with the instance's mutation generation).
+//
 // Quick start:
 //
 //	db := topodb.NewInstance()
@@ -27,10 +45,12 @@
 //	rel, _ := db.Relate("A", "B")        // overlap
 //	inv, _ := db.Invariant()             // T_I
 //	ok, _ := db.Query("some cell r: subset(r, A) and subset(r, B)")
+//	res, _ := db.QueryBatch([]string{"overlap(A, B)", "meet(A, B)"})
 package topodb
 
 import (
 	"fmt"
+	"sync"
 
 	"topodb/internal/fary"
 	"topodb/internal/folang"
@@ -44,9 +64,15 @@ import (
 	"topodb/internal/thematic"
 )
 
-// Instance is a spatial database instance: a finite set of named regions.
+// Instance is a spatial database instance: a finite set of named regions
+// plus a generation-stamped cache of the derived artifacts (arrangement,
+// query universes, invariant, thematic image, relation table). Methods are
+// safe for concurrent use; see the package comment for the cache
+// semantics.
 type Instance struct {
-	in *spatial.Instance
+	mu    sync.RWMutex // readers hold R during evaluation; mutators hold W
+	in    *spatial.Instance
+	cache artifactCache
 }
 
 // NewInstance returns an empty instance.
@@ -55,9 +81,26 @@ func NewInstance() *Instance { return &Instance{in: spatial.New()} }
 // wrap adopts an internal instance.
 func wrap(in *spatial.Instance) *Instance { return &Instance{in: in} }
 
+// Wrap adopts an existing internal spatial instance (fixtures, generators,
+// CLIs). The caller must not mutate in directly afterwards except through
+// Internal(), and never concurrently with reads.
+func Wrap(in *spatial.Instance) *Instance { return wrap(in) }
+
 // Internal returns the underlying instance for advanced use with the
-// internal packages (examples and benchmarks in this module).
+// internal packages (examples and benchmarks in this module). Mutating it
+// directly bypasses the Instance lock: do not do so concurrently with
+// other calls. Sequential mutations are safe — they bump the instance
+// generation, which invalidates the artifact cache on the next read.
 func (db *Instance) Internal() *spatial.Instance { return db.in }
+
+// add runs a mutation under the write lock. The cache needs no explicit
+// flush: the mutation bumps the spatial generation, and stale entries are
+// discarded on the next cache access.
+func (db *Instance) add(name string, r region.Region) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.in.Add(name, r)
+}
 
 // AddRect adds an open axis-parallel rectangle (x1,y1)-(x2,y2).
 func (db *Instance) AddRect(name string, x1, y1, x2, y2 int64) error {
@@ -65,7 +108,7 @@ func (db *Instance) AddRect(name string, x1, y1, x2, y2 int64) error {
 	if err != nil {
 		return err
 	}
-	return db.in.Add(name, r)
+	return db.add(name, r)
 }
 
 // AddPolygon adds a simple polygon given by its vertices (x,y pairs).
@@ -81,7 +124,7 @@ func (db *Instance) AddPolygon(name string, coords ...int64) error {
 	if err != nil {
 		return err
 	}
-	return db.in.Add(name, r)
+	return db.add(name, r)
 }
 
 // AddCircle adds a discretized circle (an Alg region: all vertices lie
@@ -91,7 +134,7 @@ func (db *Instance) AddCircle(name string, cx, cy, radius int64, n int) error {
 	if err != nil {
 		return err
 	}
-	return db.in.Add(name, r)
+	return db.add(name, r)
 }
 
 // AddRectUnion adds a Rect* region: the union of the given rectangles
@@ -105,11 +148,17 @@ func (db *Instance) AddRectUnion(name string, rects ...[4]int64) error {
 	if err != nil {
 		return err
 	}
-	return db.in.Add(name, r)
+	return db.add(name, r)
 }
 
-// Names returns the region names in sorted order.
-func (db *Instance) Names() []string { return db.in.Names() }
+// Names returns the region names in sorted order. The caller owns the
+// returned slice (it is a copy: the internal one may be shifted in place
+// by later mutations).
+func (db *Instance) Names() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]string(nil), db.in.Names()...)
+}
 
 // Relation re-exports the eight 4-intersection relations.
 type Relation = fourint.Relation
@@ -126,14 +175,39 @@ const (
 	Covers    = fourint.Covers
 )
 
-// Relate classifies the 4-intersection relation between two regions.
+// Relate classifies the 4-intersection relation between two regions. It
+// reads the cached arrangement of the full instance, so after the first
+// derived-artifact computation every pair costs one pass over the cells.
 func (db *Instance) Relate(a, b string) (Relation, error) {
-	return fourint.Relate(db.in, a, b)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if _, ok := db.in.Ext(a); !ok {
+		return 0, fmt.Errorf("topodb: no region %q", a)
+	}
+	if _, ok := db.in.Ext(b); !ok {
+		return 0, fmt.Errorf("topodb: no region %q", b)
+	}
+	arr, err := db.arrangement()
+	if err != nil {
+		return 0, err
+	}
+	return fourint.Classify(fourint.MatrixOf(arr, arr.RegionIndex(a), arr.RegionIndex(b)))
 }
 
-// AllRelations computes the relation for every ordered pair.
+// AllRelations computes the relation for every ordered pair. The table is
+// cached per generation; the returned map is a copy the caller owns.
 func (db *Instance) AllRelations() (map[[2]string]Relation, error) {
-	return fourint.AllPairs(db.in)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	rels, err := db.relations()
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[[2]string]Relation, len(rels))
+	for k, v := range rels {
+		out[k] = v
+	}
+	return out, nil
 }
 
 // Invariant is the topological invariant T_I of an instance.
@@ -141,9 +215,13 @@ type Invariant struct {
 	t *invariant.T
 }
 
-// Invariant computes T_I (§3, Theorem 3.4).
+// Invariant computes T_I (§3, Theorem 3.4). The result is cached: repeated
+// calls on an unchanged instance return a view of the same structure, and
+// the underlying arrangement is shared with Query, Relate and Thematic.
 func (db *Instance) Invariant() (*Invariant, error) {
-	t, err := invariant.New(db.in)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	t, err := db.invariantT()
 	if err != nil {
 		return nil, err
 	}
@@ -160,13 +238,16 @@ func (iv *Invariant) Connected() bool { return iv.t.Connected() }
 func (iv *Invariant) Simple() bool { return iv.t.Simple() }
 
 // Canonical returns the canonical encoding: equal encodings (over equal
-// name sets) mean topologically equivalent instances.
+// name sets) mean topologically equivalent instances. Safe for concurrent
+// use.
 func (iv *Invariant) Canonical() string { return iv.t.Canonical() }
 
 // String pretty-prints the invariant.
 func (iv *Invariant) String() string { return iv.t.String() }
 
-// Internal exposes the underlying structure for advanced use.
+// Internal exposes the underlying structure for advanced use. The
+// structure may be shared with the instance's cache: treat it as
+// read-only.
 func (iv *Invariant) Internal() *invariant.T { return iv.t }
 
 // Equivalent reports whether two instances are topologically equivalent —
@@ -188,14 +269,42 @@ func Equivalent(a, b *Instance) (bool, error) {
 // 4-intersection equivalent (§2) — a strictly coarser relation than
 // topological equivalence (Fig 1).
 func FourIntersectionEquivalent(a, b *Instance) (bool, error) {
-	return fourint.EquivalentInstances(a.in, b.in)
+	// Name sets are compared from per-instance snapshots (each taken under
+	// its own lock, never holding both) before any relation table is
+	// computed — differing names short-circuit the expensive work.
+	an, bn := a.Names(), b.Names()
+	if len(an) != len(bn) {
+		return false, nil
+	}
+	for i := range an {
+		if an[i] != bn[i] {
+			return false, nil
+		}
+	}
+	ra, err := a.AllRelations()
+	if err != nil {
+		return false, err
+	}
+	rb, err := b.AllRelations()
+	if err != nil {
+		return false, err
+	}
+	for k, v := range ra {
+		if rb[k] != v {
+			return false, nil
+		}
+	}
+	return true, nil
 }
 
 // Thematic computes the relational image thematic(I) over schema Th
 // (§3, Corollary 3.7). Topological queries on the instance become
-// classical relational queries on the result.
+// classical relational queries on the result. The database is cached per
+// generation and shared between callers: treat it as read-only.
 func (db *Instance) Thematic() (*reldb.DB, error) {
-	return thematic.FromInstance(db.in)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.thematicDB()
 }
 
 // ValidateThematic checks the labeled-planar-graph integrity conditions
@@ -209,25 +318,53 @@ func ValidateThematic(d *reldb.DB) error { return thematic.Validate(d) }
 //	φ ::= pred(t, t) | t = t | not φ | φ and φ | φ or φ | φ implies φ
 //	pred ∈ {disjoint, meet, equal, overlap, inside, contains,
 //	        covers, coveredby, connect, subset}
+//
+// The evaluation universe (arrangement plus cell closures) is cached:
+// after the first query on a given generation, evaluation is pure
+// relational work over the memoized cell complex.
 func (db *Instance) Query(src string) (bool, error) {
 	return db.QueryRefined(src, 0)
 }
 
 // QueryRefined evaluates a query on the arrangement refined by a k×k
 // scaffold grid (finer cells admit more witness regions for the strong
-// quantifier; k = 0 is the paper's plain cell complex).
+// quantifier; k = 0 is the paper's plain cell complex). Each refinement
+// level caches its own universe.
 func (db *Instance) QueryRefined(src string, k int) (bool, error) {
-	u, err := folang.NewUniverse(db.in, k)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	u, err := db.universe(k)
 	if err != nil {
 		return false, err
 	}
 	return folang.NewEvaluator(u).EvalQuery(src)
 }
 
+// QueryBatch evaluates a batch of queries against the shared cached
+// universe, fanning evaluation out over a bounded worker pool. results[i]
+// is the verdict of queries[i]; the first malformed or failing query (by
+// position) aborts the batch with an error.
+func (db *Instance) QueryBatch(queries []string) ([]bool, error) {
+	return db.QueryBatchRefined(queries, 0)
+}
+
+// QueryBatchRefined is QueryBatch on the k×k-refined universe.
+func (db *Instance) QueryBatchRefined(queries []string, k int) ([]bool, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	u, err := db.universe(k)
+	if err != nil {
+		return nil, err
+	}
+	return folang.EvaluateAll(u, queries)
+}
+
 // PolygonalRepresentative returns a Poly instance topologically
 // equivalent to this one (Theorem 3.5); keepEvery > 1 coarsens
 // discretized boundaries.
 func (db *Instance) PolygonalRepresentative(keepEvery int) (*Instance, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out, err := fary.Polygonalize(db.in, keepEvery)
 	if err != nil {
 		return nil, err
@@ -238,13 +375,17 @@ func (db *Instance) PolygonalRepresentative(keepEvery int) (*Instance, error) {
 // SEquivalent reports whether two instances are equivalent up to a
 // symmetry (the paper's group S of monotone coordinate maps), decided via
 // the S-invariant of Theorem 6.1 / Fig 14 — a strictly finer relation
-// than topological equivalence.
+// than topological equivalence. Both S-invariants are cached.
 func SEquivalent(a, b *Instance) (bool, error) {
-	sa, err := invariant.SInvariant(a.in)
+	a.mu.RLock()
+	sa, err := a.sinvariantT()
+	a.mu.RUnlock()
 	if err != nil {
 		return false, err
 	}
-	sb, err := invariant.SInvariant(b.in)
+	b.mu.RLock()
+	sb, err := b.sinvariantT()
+	b.mu.RUnlock()
 	if err != nil {
 		return false, err
 	}
