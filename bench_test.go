@@ -504,6 +504,91 @@ func BenchmarkParallelAllPairs(b *testing.B) {
 	})
 }
 
+// ---- Sub-quadratic cold construction: sweep vs all-pairs reference ----
+
+// benchArrangeSweepVsNaive measures arrange.Build with the plane-sweep
+// intersection pass against the quadratic all-pairs reference on the same
+// instance. The arrangements are byte-identical (see
+// TestSweepCanonicalInvariantBytes); only the construction path differs.
+func benchArrangeSweepVsNaive(b *testing.B, in *spatial.Instance) {
+	b.Helper()
+	b.Run("sweep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := arrange.Build(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		old := arrange.SetSweepMin(1 << 30)
+		defer arrange.SetSweepMin(old)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := arrange.Build(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkArrangeScatter is the headline cold-build benchmark: 200
+// scattered regions, few intersections — the sweep's best case (the
+// acceptance bar is sweep >= 5x naive here).
+func BenchmarkArrangeScatter(b *testing.B) {
+	benchArrangeSweepVsNaive(b, workload.SparseScatter(200))
+}
+
+// BenchmarkArrangeCityBlocks is the sweep's adversarial case: a dense
+// street mesh where nearly every pair of boxes overlaps, so pruning
+// removes little and the sweep must not regress against the naive path.
+func BenchmarkArrangeCityBlocks(b *testing.B) {
+	benchArrangeSweepVsNaive(b, workload.CityBlocks(24))
+}
+
+// BenchmarkColdBuildScatter is the CI allocation gate: the sweep-path cold
+// build whose allocs/op budget the benchmark job enforces.
+func BenchmarkColdBuildScatter(b *testing.B) {
+	in := workload.SparseScatter(200)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := arrange.Build(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllPairsPruning measures the all-pairs classifier with and
+// without the bounding-box Disjoint fast path on a scatter arrangement
+// (box-disjoint pairs dominate, so the prune skips most matrix scans).
+func BenchmarkAllPairsPruning(b *testing.B) {
+	in := workload.SparseScatter(150)
+	a, err := arrange.Build(in)
+	if err != nil {
+		b.Fatal(err)
+	}
+	boxes := in.Boxes()
+	b.Run("pruned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := fourint.AllPairsFromBoxes(a, boxes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unpruned", func(b *testing.B) {
+		old := fourint.SetBoxPrune(false)
+		defer fourint.SetBoxPrune(old)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := fourint.AllPairsFromBoxes(a, boxes); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // ---- F14: the S-invariant (Theorem 6.1 / Fig 14) ----
 
 func BenchmarkSInvariant(b *testing.B) {

@@ -7,6 +7,7 @@ import (
 	"topodb/internal/arrange"
 	"topodb/internal/folang"
 	"topodb/internal/fourint"
+	"topodb/internal/geom"
 	"topodb/internal/invariant"
 	"topodb/internal/reldb"
 	"topodb/internal/thematic"
@@ -14,8 +15,8 @@ import (
 
 // artifactKind enumerates the derived artifacts an Instance memoizes. The
 // artifacts form a derivation chain — arrangement → invariant → thematic,
-// arrangement → universe(0), arrangement → relations — so one arrangement
-// build feeds every consumer.
+// arrangement → universe(0), (arrangement, boxes) → relations — so one
+// arrangement build feeds every consumer.
 type artifactKind int8
 
 const (
@@ -25,6 +26,7 @@ const (
 	sinvariantKind
 	thematicKind
 	relationsKind
+	boxesKind
 )
 
 // artifactKey identifies one cache slot; k is the refinement level and is
@@ -164,6 +166,20 @@ func (db *Instance) thematicDB() (*reldb.DB, error) {
 	return v.(*reldb.DB), nil
 }
 
+// regionBoxes returns the memoized per-region bounding boxes (indexed like
+// the instance's sorted names). They are derived straight from the spatial
+// instance — no arrangement needed — so the all-pairs classifier can prune
+// box-disjoint pairs without waiting on, or scanning, the cell complex.
+func (db *Instance) regionBoxes() ([]geom.Box, error) {
+	v, err := db.cache.get(db.in.Gen(), artifactKey{kind: boxesKind}, func() (any, error) {
+		return db.in.Boxes(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.([]geom.Box), nil
+}
+
 // relations returns the memoized all-pairs relation map. Callers must not
 // mutate it; the public AllRelations copies.
 func (db *Instance) relations() (map[[2]string]Relation, error) {
@@ -172,7 +188,11 @@ func (db *Instance) relations() (map[[2]string]Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		return fourint.AllPairsFrom(a)
+		boxes, err := db.regionBoxes()
+		if err != nil {
+			return nil, err
+		}
+		return fourint.AllPairsFromBoxes(a, boxes)
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,154 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"topodb"
+	"topodb/internal/arrange"
+	"topodb/internal/fourint"
+	"topodb/internal/spatial"
+	"topodb/internal/workload"
+)
+
+// benchRow is one measurement of the performance baseline.
+type benchRow struct {
+	Name        string  `json:"name"`     // cold_build | all_pairs | cached_query
+	Workload    string  `json:"workload"` // generator name
+	Size        int     `json:"size"`     // region count
+	Mode        string  `json:"mode"`     // sweep|naive, pruned|unpruned, warm|cold
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// benchDoc is the machine-readable baseline document (BENCH_pr2.json).
+type benchDoc struct {
+	Schema     string     `json:"schema"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	Rows       []benchRow `json:"rows"`
+}
+
+func row(name, wl string, size int, mode string, r testing.BenchmarkResult) benchRow {
+	return benchRow{
+		Name:        name,
+		Workload:    wl,
+		Size:        size,
+		Mode:        mode,
+		Iterations:  r.N,
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+		AllocsPerOp: r.AllocsPerOp(),
+	}
+}
+
+// coldBuild measures arrange.Build on in with the given sweep threshold
+// override (0 forces the sweep, 1<<30 forces the naive reference).
+func coldBuild(in *spatial.Instance, sweepMin int) testing.BenchmarkResult {
+	old := arrange.SetSweepMin(sweepMin)
+	defer arrange.SetSweepMin(old)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := arrange.Build(in); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// allPairs measures the all-pairs classification from a prebuilt
+// arrangement, with the bounding-box prune on or off.
+func allPairs(a *arrange.Arrangement, prune bool) testing.BenchmarkResult {
+	old := fourint.SetBoxPrune(prune)
+	defer fourint.SetBoxPrune(old)
+	return testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := fourint.AllPairsFrom(a); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// bench runs the performance baseline and prints it as a text table, or as
+// the BENCH_pr2.json document with -json.
+func bench() {
+	var rows []benchRow
+
+	// Cold arrangement construction, sweep vs all-pairs reference.
+	type buildCase struct {
+		wl   string
+		in   *spatial.Instance
+		size int
+	}
+	builds := []buildCase{
+		{"sparse_scatter", workload.SparseScatter(50), 50},
+		{"sparse_scatter", workload.SparseScatter(100), 100},
+		{"sparse_scatter", workload.SparseScatter(200), 200},
+		{"city_blocks", workload.CityBlocks(12), 24},
+		{"city_blocks", workload.CityBlocks(24), 48},
+		{"lens_stack", workload.LensStack(16), 16},
+		{"county_mesh", workload.CountyMesh(8), 64},
+	}
+	for _, c := range builds {
+		rows = append(rows,
+			row("cold_build", c.wl, c.size, "sweep", coldBuild(c.in, 0)),
+			row("cold_build", c.wl, c.size, "naive", coldBuild(c.in, 1<<30)),
+		)
+	}
+
+	// All-pairs classification, box prune on vs off.
+	scatter := workload.SparseScatter(150)
+	a, err := arrange.Build(scatter)
+	check(err)
+	rows = append(rows,
+		row("all_pairs", "sparse_scatter", 150, "pruned", allPairs(a, true)),
+		row("all_pairs", "sparse_scatter", 150, "unpruned", allPairs(a, false)),
+	)
+
+	// Cached query engine: cold (fresh instance per query) vs warm
+	// (generation-stamped artifact cache hit).
+	const q = "some cell r: subset(r, C000) and subset(r, C001)"
+	rows = append(rows, row("cached_query", "overlap_chain", 12, "cold",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				db := topodb.Wrap(workload.OverlapChain(12))
+				if ok, err := db.Query(q); err != nil || !ok {
+					b.Fatal(ok, err)
+				}
+			}
+		})))
+	warm := topodb.Wrap(workload.OverlapChain(12))
+	if ok, err := warm.Query(q); err != nil || !ok {
+		check(fmt.Errorf("warm-up query failed: %v %v", ok, err))
+	}
+	rows = append(rows, row("cached_query", "overlap_chain", 12, "warm",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if ok, err := warm.Query(q); err != nil || !ok {
+					b.Fatal(ok, err)
+				}
+			}
+		})))
+
+	doc := benchDoc{Schema: "topodb-bench/v1", GoMaxProcs: runtime.GOMAXPROCS(0), Rows: rows}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		check(enc.Encode(doc))
+		return
+	}
+	fmt.Println("Performance baseline (ns/op; see BENCH_pr2.json for the committed run):")
+	for _, r := range rows {
+		fmt.Printf("  %-12s %-15s n=%-4d %-9s %12.0f ns/op %10d B/op %8d allocs/op\n",
+			r.Name, r.Workload, r.Size, r.Mode, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
+	}
+}

@@ -3,9 +3,17 @@
 // produce everything, or name specific artifacts:
 //
 //	benchtab fig1 fig2 fig4 fig5 fig9 fig10 fig11
+//
+// The "bench" artifact runs the performance baseline (cold arrangement
+// builds sweep vs naive, all-pairs classification pruned vs unpruned, warm
+// vs cold cached queries) and, with -json, emits it machine-readably —
+// the format committed as BENCH_pr2.json:
+//
+//	benchtab -json bench > BENCH_pr2.json
 package main
 
 import (
+	"flag"
 	"fmt"
 	"os"
 
@@ -18,6 +26,8 @@ import (
 	"topodb/internal/thematic"
 	"topodb/internal/xform"
 )
+
+var jsonOut = flag.Bool("json", false, "emit the bench artifact as JSON")
 
 var sections map[string]func()
 
@@ -32,11 +42,13 @@ func init() {
 		"fig10": fig10,
 		"fig11": fig11,
 		"fig14": fig14,
+		"bench": bench,
 	}
 }
 
 func main() {
-	args := os.Args[1:]
+	flag.Parse()
+	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"fig1", "fig2", "fig4", "fig5", "fig7", "fig9", "fig10", "fig11", "fig14"}
 	}
@@ -45,6 +57,10 @@ func main() {
 		if !ok {
 			fmt.Fprintf(os.Stderr, "benchtab: unknown artifact %q\n", a)
 			os.Exit(1)
+		}
+		if a == "bench" && *jsonOut {
+			f() // JSON mode prints the document alone, no banner
+			continue
 		}
 		fmt.Printf("==== %s ====\n", a)
 		f()

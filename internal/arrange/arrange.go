@@ -14,6 +14,7 @@ package arrange
 
 import (
 	"fmt"
+	"math/bits"
 	"sort"
 
 	"topodb/internal/geom"
@@ -60,22 +61,43 @@ func (l Label) Key() string {
 // String renders the label as e.g. "(A:o, B:-)".
 func (l Label) String() string { return l.Key() }
 
-// Owners is a bitmask over region indices (region i owns an edge when the
-// edge lies on i's boundary). Instances are limited to 64 regions, ample
-// for the paper's setting.
-type Owners uint64
+// ownersWords sizes the Owners bit set; MaxRegions = 64*ownersWords.
+const ownersWords = 4
+
+// MaxRegions is the largest instance an arrangement supports, bounded by
+// the fixed-width Owners bit set.
+const MaxRegions = 64 * ownersWords
+
+// Owners is a bit set over region indices (region i owns an edge when the
+// edge lies on i's boundary). It is a fixed-size array so values stay
+// comparable with == (the invariant's edge-chain merge relies on that).
+type Owners [ownersWords]uint64
 
 // Has reports whether region index i is in the set.
-func (o Owners) Has(i int) bool { return o&(1<<uint(i)) != 0 }
+func (o Owners) Has(i int) bool { return o[i>>6]&(1<<uint(i&63)) != 0 }
 
 // With returns the set with region index i added.
-func (o Owners) With(i int) Owners { return o | 1<<uint(i) }
+func (o Owners) With(i int) Owners {
+	o[i>>6] |= 1 << uint(i&63)
+	return o
+}
+
+// Union returns the set union of o and p.
+func (o Owners) Union(p Owners) Owners {
+	for w := range o {
+		o[w] |= p[w]
+	}
+	return o
+}
+
+// IsEmpty reports whether the set has no owners (scaffold edges).
+func (o Owners) IsEmpty() bool { return o == Owners{} }
 
 // Count returns the number of owners.
 func (o Owners) Count() int {
 	n := 0
-	for ; o != 0; o &= o - 1 {
-		n++
+	for _, w := range o {
+		n += bits.OnesCount64(w)
 	}
 	return n
 }
@@ -188,8 +210,8 @@ func BuildWithScaffold(in *spatial.Instance, scaffold []geom.Seg) (*Arrangement,
 	if len(names) == 0 {
 		return nil, fmt.Errorf("arrange: empty instance")
 	}
-	if len(names) > 64 {
-		return nil, fmt.Errorf("arrange: more than 64 regions")
+	if len(names) > MaxRegions {
+		return nil, fmt.Errorf("arrange: more than %d regions", MaxRegions)
 	}
 	a := &Arrangement{Names: names, index: make(map[string]int, len(names))}
 	for i, n := range names {
@@ -201,14 +223,14 @@ func BuildWithScaffold(in *spatial.Instance, scaffold []geom.Seg) (*Arrangement,
 	for i, n := range names {
 		r := in.MustExt(n)
 		for _, s := range r.Boundary() {
-			segs = append(segs, ownedSeg{s, Owners(0).With(i)})
+			segs = append(segs, ownedSeg{s, Owners{}.With(i)})
 		}
 	}
 	for _, s := range scaffold {
 		if s.IsDegenerate() {
 			return nil, fmt.Errorf("arrange: degenerate scaffold segment at %s", s.A)
 		}
-		segs = append(segs, ownedSeg{s, 0})
+		segs = append(segs, ownedSeg{s, Owners{}})
 	}
 
 	// 2. Split at all mutual intersections and deduplicate.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"topodb/internal/geom"
+	"topodb/internal/par"
 	"topodb/internal/rat"
 	"topodb/internal/spatial"
 )
@@ -74,7 +75,18 @@ func (a *Arrangement) buildFaces() {
 	a.Faces = append(a.Faces, Face{Bounded: false, Comp: -1})
 
 	// 4. Nesting: for each component, find the innermost bounded face of
-	// another component containing its representative point.
+	// another component containing its representative point. Each face's
+	// primary-walk bounding box prunes the exact crossing count: a point
+	// outside the box cannot be enclosed by the walk, which in scatter- and
+	// grid-like instances rejects almost every (component, face) pair with
+	// four comparisons.
+	walkBoxes := make([]geom.Box, len(a.Faces))
+	for fi := range a.Faces {
+		f := &a.Faces[fi]
+		if f.Bounded {
+			walkBoxes[fi] = a.walkBox(f.Walks[0])
+		}
+	}
 	for ci := range a.Comps {
 		p := a.Verts[a.Comps[ci].RootVertex].P
 		best := -1
@@ -82,6 +94,9 @@ func (a *Arrangement) buildFaces() {
 		for fi := range a.Faces {
 			f := &a.Faces[fi]
 			if !f.Bounded || f.Comp == ci {
+				continue
+			}
+			if !walkBoxes[fi].ContainsPt(p) {
 				continue
 			}
 			if !a.walkContains(f.Walks[0], p) {
@@ -124,6 +139,15 @@ func (a *Arrangement) walkEdges(h int) []int {
 // WalkHalfEdges exposes the boundary walk starting at half-edge h.
 func (a *Arrangement) WalkHalfEdges(h int) []int { return a.walkEdges(h) }
 
+// walkBox returns the bounding box of the walk starting at h.
+func (a *Arrangement) walkBox(h int) geom.Box {
+	box := geom.BoxOf(a.Verts[a.Half[h].Origin].P)
+	for cur := a.Half[h].Next; cur != h; cur = a.Half[cur].Next {
+		box = box.Union(geom.BoxOf(a.Verts[a.Half[cur].Origin].P))
+	}
+	return box
+}
+
 // walkContains reports whether p is enclosed by the walk starting at h,
 // using an exact even–odd crossing count over the walk's edge multiset
 // (bridge edges appear twice and cancel). p must not lie on the walk.
@@ -154,26 +178,32 @@ func (a *Arrangement) sampleFaces() error {
 	for _, v := range a.Verts[1:] {
 		box = box.Union(geom.BoxOf(v.P))
 	}
-	for fi := range a.Faces {
+	errs := make([]error, len(a.Faces))
+	par.For(len(a.Faces), func(fi int) {
 		f := &a.Faces[fi]
 		if !f.Bounded {
 			f.Sample = geom.Pt{X: box.MaxX.Add(rat.One), Y: box.MaxY.Add(rat.One)}
-			continue
+			return
 		}
-		h := f.Walks[0]
-		s, err := a.samplePastHalfEdge(h, box)
+		s, err := a.samplePastHalfEdge(f.Walks[0], box, f.Walks)
 		if err != nil {
-			return fmt.Errorf("arrange: face %d: %w", fi, err)
+			errs[fi] = fmt.Errorf("arrange: face %d: %w", fi, err)
+			return
 		}
 		f.Sample = s
-	}
-	return nil
+	})
+	return firstErr(errs)
 }
 
 // samplePastHalfEdge returns a point strictly inside the face to the left
 // of half-edge h: it casts a ray from the edge midpoint along the left
-// normal and stops halfway to the first thing it hits.
-func (a *Arrangement) samplePastHalfEdge(h int, box geom.Box) (geom.Pt, error) {
+// normal and stops halfway to the first thing it hits. walks lists the
+// face's boundary walks; only their edges are candidate hits — the ray
+// starts on the face's boundary heading into its interior, so the first
+// skeleton point it reaches is on the face's own boundary. Restricting the
+// cast keeps total sampling cost linear in the arrangement (each half-edge
+// belongs to exactly one face) instead of faces × edges.
+func (a *Arrangement) samplePastHalfEdge(h int, box geom.Box, walks []int) (geom.Pt, error) {
 	he := a.Half[h]
 	m := geom.Mid(a.Verts[he.Origin].P, a.Verts[a.Head(h)].P)
 	n := leftNormal(a.dir(h))
@@ -191,26 +221,29 @@ func (a *Arrangement) samplePastHalfEdge(h int, box geom.Box) (geom.Pt, error) {
 	}
 	tMin := rat.FromInt(2) // beyond the ray end
 	found := false
-	for ei := range a.Edges {
-		if ei == he.Edge {
-			continue
-		}
-		e := a.Edges[ei]
-		seg := geom.Seg{A: a.Verts[e.V1].P, B: a.Verts[e.V2].P}
-		inter := geom.Intersect(ray, seg)
-		var hits []geom.Pt
-		switch inter.Kind {
-		case geom.PointIntersection:
-			hits = []geom.Pt{inter.P}
-		case geom.OverlapIntersection:
-			hits = []geom.Pt{inter.P, inter.Q}
-		default:
-			continue
-		}
-		for _, p := range hits {
-			t := along(p)
-			if t.Sign() > 0 && t.Less(tMin) {
-				tMin, found = t, true
+	for _, w := range walks {
+		for _, wh := range a.walkEdges(w) {
+			ei := a.Half[wh].Edge
+			if ei == he.Edge {
+				continue
+			}
+			e := a.Edges[ei]
+			seg := geom.Seg{A: a.Verts[e.V1].P, B: a.Verts[e.V2].P}
+			inter := geom.Intersect(ray, seg)
+			var hits []geom.Pt
+			switch inter.Kind {
+			case geom.PointIntersection:
+				hits = []geom.Pt{inter.P}
+			case geom.OverlapIntersection:
+				hits = []geom.Pt{inter.P, inter.Q}
+			default:
+				continue
+			}
+			for _, p := range hits {
+				t := along(p)
+				if t.Sign() > 0 && t.Less(tMin) {
+					tMin, found = t, true
+				}
 			}
 		}
 	}
@@ -221,27 +254,60 @@ func (a *Arrangement) samplePastHalfEdge(h int, box geom.Box) (geom.Pt, error) {
 }
 
 // labelCells assigns the sign-class labels of every vertex, edge and face.
+//
+// Labeling is the arrangement's other quadratic pass — one point location
+// per (cell, region) pair. It is made output-sensitive in two steps: an
+// x-sweep box-stabbing pass (geom.StabBoxes, using per-region bounding
+// boxes computed once from the spatial instance) finds the candidate
+// regions whose box contains each cell's location point, then the exact
+// ring walk runs only on those candidates, on a bounded worker pool. A
+// point outside a region's box is Exterior to it by construction, so the
+// labels are identical to the exhaustive scan's. Labels land in
+// preallocated slots and errors are collected per cell, so the result (and
+// the first reported error) is deterministic.
 func (a *Arrangement) labelCells(in *spatial.Instance) error {
 	if err := a.sampleFaces(); err != nil {
 		return err
 	}
-	locate := func(p geom.Pt) Label {
-		l := make(Label, len(a.Names))
-		for i, n := range a.Names {
-			switch in.MustExt(n).Locate(p) {
+	nR := len(a.Names)
+	rings := make([]geom.Ring, nR)
+	boxes := make([]geom.Box, nR)
+	for i, n := range a.Names {
+		r := in.MustExt(n)
+		rings[i] = r.Ring()
+		boxes[i] = r.Box()
+	}
+	// One location point per cell: face samples, then edge midpoints, then
+	// vertices.
+	nF, nE := len(a.Faces), len(a.Edges)
+	pts := make([]geom.Pt, 0, nF+nE+len(a.Verts))
+	for fi := range a.Faces {
+		pts = append(pts, a.Faces[fi].Sample)
+	}
+	for ei := range a.Edges {
+		e := &a.Edges[ei]
+		pts = append(pts, geom.Mid(a.Verts[e.V1].P, a.Verts[e.V2].P))
+	}
+	for vi := range a.Verts {
+		pts = append(pts, a.Verts[vi].P)
+	}
+	cands := geom.StabBoxes(pts, boxes)
+	labels := make([]Label, len(pts))
+	par.For(len(pts), func(k int) {
+		l := make(Label, nR)
+		for _, ri := range cands[k] {
+			switch geom.RingContains(rings[ri], pts[k]) {
 			case geom.Inside:
-				l[i] = Interior
+				l[ri] = Interior
 			case geom.OnBoundary:
-				l[i] = Boundary
-			default:
-				l[i] = Exterior
+				l[ri] = Boundary
 			}
 		}
-		return l
-	}
+		labels[k] = l
+	})
 	for fi := range a.Faces {
 		f := &a.Faces[fi]
-		f.Label = locate(f.Sample)
+		f.Label = labels[fi]
 		for i, s := range f.Label {
 			if s == Boundary {
 				return fmt.Errorf("arrange: face sample %s lies on boundary of %s", f.Sample, a.Names[i])
@@ -250,8 +316,7 @@ func (a *Arrangement) labelCells(in *spatial.Instance) error {
 	}
 	for ei := range a.Edges {
 		e := &a.Edges[ei]
-		m := geom.Mid(a.Verts[e.V1].P, a.Verts[e.V2].P)
-		l := locate(m)
+		l := labels[nF+ei]
 		for i := range l {
 			if e.Owners.Has(i) {
 				if l[i] != Boundary {
@@ -264,7 +329,17 @@ func (a *Arrangement) labelCells(in *spatial.Instance) error {
 		e.Label = l
 	}
 	for vi := range a.Verts {
-		a.Verts[vi].Label = locate(a.Verts[vi].P)
+		a.Verts[vi].Label = labels[nF+nE+vi]
+	}
+	return nil
+}
+
+// firstErr returns the first non-nil error in index order.
+func firstErr(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
 	}
 	return nil
 }

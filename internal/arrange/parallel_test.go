@@ -23,7 +23,7 @@ func collectSegs(t *testing.T, in *spatial.Instance) []ownedSeg {
 	var segs []ownedSeg
 	for i, n := range in.Names() {
 		for _, s := range in.MustExt(n).Boundary() {
-			segs = append(segs, ownedSeg{s, Owners(0).With(i)})
+			segs = append(segs, ownedSeg{s, Owners{}.With(i)})
 		}
 	}
 	if len(segs) < parallelPairMin {

@@ -2,6 +2,7 @@ package arrange
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"topodb/internal/geom"
 	"topodb/internal/par"
@@ -9,8 +10,29 @@ import (
 
 // parallelPairMin is the segment count below which the pairwise
 // intersection loop stays sequential: for small inputs the goroutine
-// hand-off costs more than the O(n²) rational-arithmetic loop itself.
+// hand-off costs more than the rational-arithmetic loop itself.
 const parallelPairMin = 48
+
+// defaultSweepMin is the segment count at or above which findCuts runs the
+// x-interval plane sweep instead of the quadratic all-pairs reference. For
+// tiny inputs the sort and active-set bookkeeping cost more than the
+// handful of pair tests they avoid.
+const defaultSweepMin = 32
+
+// candidateBatch is the ForBatch claim size for the candidate-pair
+// intersection phase: one candidate test is a few dozen nanoseconds, far
+// cheaper than an uncontended atomic RMW, so workers claim work in chunks.
+const candidateBatch = 64
+
+var sweepMin atomic.Int64
+
+func init() { sweepMin.Store(defaultSweepMin) }
+
+// SetSweepMin sets the segment count at or above which splitSegments uses
+// the plane sweep, returning the previous value. It exists for benchmarks
+// and equivalence tests: a huge value forces the quadratic reference path,
+// 0 forces the sweep. Both paths produce byte-identical arrangements.
+func SetSweepMin(n int) int { return int(sweepMin.Swap(int64(n))) }
 
 // splitSegments cuts every input segment at each point where it meets
 // another segment (crossings, T-junctions, touching endpoints, and the
@@ -20,49 +42,81 @@ const parallelPairMin = 48
 // skeleton of the arrangement.
 //
 // The pairwise intersection pass — the arrangement's asymptotic hot spot —
-// runs on a bounded worker pool (par.Shards). The piece list is
-// nevertheless deterministic: cut points are sorted per segment before
-// pieces are emitted, so discovery order never leaks into the output and
-// canonical encodings stay byte-stable across worker counts.
+// is output-sensitive: an x-interval plane sweep (findCutsSweep) restricts
+// the exact intersection tests to pairs whose bounding boxes overlap, so
+// sparse workloads cost O(n log n + k) pair tests rather than O(n²).
+// The piece list is deterministic either way: cut points are sorted per
+// segment before pieces are emitted, so discovery order never leaks into
+// the output and canonical encodings stay byte-stable across worker counts
+// and across the sweep/naive switch.
 func splitSegments(segs []ownedSeg) []ownedSeg {
 	return assemblePieces(segs, findCuts(segs, len(segs) >= parallelPairMin))
 }
 
 // findCuts returns, for each segment, its endpoints plus every point where
-// another segment meets it. With parallel set, unordered pairs (i, j) are
-// examined by a bounded worker pool, each worker accumulating into a
-// private buffer that is merged afterwards; otherwise the classic
-// sequential double loop runs. Both paths produce the same multiset of cut
-// points per segment.
+// another segment meets it. Inputs at or above the sweep threshold take
+// the plane sweep; smaller ones take the quadratic reference path. Both
+// produce the same per-segment cut sets: the sweep only skips pairs whose
+// bounding boxes are disjoint, which the exact intersection would reject
+// anyway.
 func findCuts(segs []ownedSeg, parallel bool) [][]geom.Pt {
-	n := len(segs)
-	cuts := make([][]geom.Pt, n)
+	if int64(len(segs)) >= sweepMin.Load() {
+		return findCutsSweep(segs, parallel)
+	}
+	return findCutsNaive(segs, parallel)
+}
+
+// newCutTable seeds the per-segment cut lists with the segment endpoints.
+func newCutTable(segs []ownedSeg) [][]geom.Pt {
+	cuts := make([][]geom.Pt, len(segs))
 	for i := range segs {
 		cuts[i] = append(cuts[i], segs[i].s.A, segs[i].s.B)
 	}
+	return cuts
+}
+
+// cut is one discovered cut point on segment row.
+type cut struct {
+	row int
+	p   geom.Pt
+}
+
+// appendInter records the cut points of an intersection between segments i
+// and j into buf.
+func appendInter(buf []cut, i, j int, inter geom.Intersection) []cut {
+	switch inter.Kind {
+	case geom.PointIntersection:
+		buf = append(buf, cut{i, inter.P}, cut{j, inter.P})
+	case geom.OverlapIntersection:
+		buf = append(buf,
+			cut{i, inter.P}, cut{i, inter.Q},
+			cut{j, inter.P}, cut{j, inter.Q})
+	}
+	return buf
+}
+
+// findCutsNaive is the quadratic all-pairs reference: every unordered pair
+// is handed to the exact intersection test. With parallel set, pairs are
+// examined by a bounded worker pool, each worker accumulating into a
+// private buffer that is merged afterwards.
+func findCutsNaive(segs []ownedSeg, parallel bool) [][]geom.Pt {
+	n := len(segs)
+	cuts := newCutTable(segs)
 	shards := 1
 	if parallel {
 		shards = par.Shards(n)
 	}
 	if shards == 1 {
+		var buf []cut
 		for i := 0; i < n; i++ {
 			for j := i + 1; j < n; j++ {
-				inter := geom.Intersect(segs[i].s, segs[j].s)
-				switch inter.Kind {
-				case geom.PointIntersection:
-					cuts[i] = append(cuts[i], inter.P)
-					cuts[j] = append(cuts[j], inter.P)
-				case geom.OverlapIntersection:
-					cuts[i] = append(cuts[i], inter.P, inter.Q)
-					cuts[j] = append(cuts[j], inter.P, inter.Q)
+				buf = appendInter(buf[:0], i, j, geom.Intersect(segs[i].s, segs[j].s))
+				for _, c := range buf {
+					cuts[c.row] = append(cuts[c.row], c.p)
 				}
 			}
 		}
 		return cuts
-	}
-	type cut struct {
-		row int
-		p   geom.Pt
 	}
 	locals := make([][]cut, shards)
 	// Rows are claimed dynamically: row i costs n-1-i intersection tests,
@@ -70,24 +124,93 @@ func findCuts(segs []ownedSeg, parallel bool) [][]geom.Pt {
 	par.ForShard(shards, n, func(w, i int) {
 		buf := locals[w]
 		for j := i + 1; j < n; j++ {
-			inter := geom.Intersect(segs[i].s, segs[j].s)
-			switch inter.Kind {
-			case geom.PointIntersection:
-				buf = append(buf, cut{i, inter.P}, cut{j, inter.P})
-			case geom.OverlapIntersection:
-				buf = append(buf,
-					cut{i, inter.P}, cut{i, inter.Q},
-					cut{j, inter.P}, cut{j, inter.Q})
-			}
+			buf = appendInter(buf, i, j, geom.Intersect(segs[i].s, segs[j].s))
 		}
 		locals[w] = buf
 	})
+	mergeCuts(cuts, locals)
+	return cuts
+}
+
+// findCutsSweep is the sub-quadratic path: a plane sweep over x-sorted
+// segment bounding boxes enumerates exactly the pairs whose boxes overlap
+// (phase 1, cheap interval comparisons only), then the exact intersection
+// test runs on that candidate list (phase 2, parallel for large lists).
+func findCutsSweep(segs []ownedSeg, parallel bool) [][]geom.Pt {
+	n := len(segs)
+	cuts := newCutTable(segs)
+
+	boxes := make([]geom.Box, n)
+	for i := range segs {
+		boxes[i] = geom.SegBox(segs[i].s)
+	}
+
+	// Phase 1: sweep segments in order of box MinX, keeping an active list
+	// of earlier segments whose x-interval may still reach the sweep line.
+	// A pair becomes a candidate iff both its x- and y-intervals overlap —
+	// exactly the pairs geom.Intersect's own box filter would pass.
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if c := boxes[order[a]].MinX.Cmp(boxes[order[b]].MinX); c != 0 {
+			return c < 0
+		}
+		return order[a] < order[b]
+	})
+	type pair struct{ i, j int32 }
+	var cands []pair
+	active := make([]int, 0, 64)
+	for _, i := range order {
+		bi := &boxes[i]
+		kept := active[:0]
+		for _, j := range active {
+			bj := &boxes[j]
+			if bj.MaxX.Cmp(bi.MinX) < 0 {
+				continue // box j ends left of the sweep line: retire it
+			}
+			kept = append(kept, j)
+			if bj.MinY.Cmp(bi.MaxY) <= 0 && bi.MinY.Cmp(bj.MaxY) <= 0 {
+				cands = append(cands, pair{int32(j), int32(i)})
+			}
+		}
+		active = append(kept, i)
+	}
+
+	// Phase 2: exact intersection on the candidates.
+	shards := 1
+	if parallel {
+		shards = par.Shards(len(cands))
+	}
+	if shards == 1 {
+		var buf []cut
+		for _, c := range cands {
+			buf = appendInter(buf[:0], int(c.i), int(c.j),
+				geom.IntersectPrefiltered(segs[c.i].s, segs[c.j].s))
+			for _, cc := range buf {
+				cuts[cc.row] = append(cuts[cc.row], cc.p)
+			}
+		}
+		return cuts
+	}
+	locals := make([][]cut, shards)
+	par.ForBatch(shards, len(cands), candidateBatch, func(w, k int) {
+		c := cands[k]
+		locals[w] = appendInter(locals[w], int(c.i), int(c.j),
+			geom.IntersectPrefiltered(segs[c.i].s, segs[c.j].s))
+	})
+	mergeCuts(cuts, locals)
+	return cuts
+}
+
+// mergeCuts folds per-shard cut buffers into the per-segment table.
+func mergeCuts(cuts [][]geom.Pt, locals [][]cut) {
 	for _, buf := range locals {
 		for _, c := range buf {
 			cuts[c.row] = append(cuts[c.row], c.p)
 		}
 	}
-	return cuts
 }
 
 // assemblePieces sorts each segment's cut points, emits the nondegenerate
@@ -107,7 +230,7 @@ func assemblePieces(segs []ownedSeg, cuts [][]geom.Pt) []ownedSeg {
 			}
 			key := pieceKey{a.Key(), b.Key()}
 			if idx, ok := merged[key]; ok {
-				out[idx].o |= segs[i].o
+				out[idx].o = out[idx].o.Union(segs[i].o)
 				continue
 			}
 			merged[key] = len(out)

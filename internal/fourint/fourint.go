@@ -11,8 +11,10 @@ package fourint
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"topodb/internal/arrange"
+	"topodb/internal/geom"
 	"topodb/internal/par"
 	"topodb/internal/spatial"
 )
@@ -155,28 +157,92 @@ func Relate(in *spatial.Instance, nameA, nameB string) (Relation, error) {
 	return Classify(MatrixOf(a, a.RegionIndex(nameA), a.RegionIndex(nameB)))
 }
 
+// boxPrune gates the bounding-box fast path of the all-pairs
+// classification. It defaults to on; benchmarks and equivalence tests
+// disable it to measure the unpruned reference.
+var boxPrune atomic.Bool
+
+func init() { boxPrune.Store(true) }
+
+// SetBoxPrune enables or disables the bounding-box Disjoint fast path,
+// returning the previous setting. Both settings produce identical
+// relation maps; the knob exists for benchmarks and equivalence tests.
+func SetBoxPrune(enabled bool) bool { return boxPrune.Swap(enabled) }
+
 // AllPairs computes the relation for every ordered pair of distinct region
-// names from a single arrangement of the full instance.
+// names from a single arrangement of the full instance. Region bounding
+// boxes come straight from the instance, so box-disjoint pairs skip the
+// 4-intersection machinery entirely.
 func AllPairs(in *spatial.Instance) (map[[2]string]Relation, error) {
 	a, err := arrange.Build(in)
 	if err != nil {
 		return nil, err
 	}
-	return AllPairsFrom(a)
+	return AllPairsFromBoxes(a, in.Boxes())
+}
+
+// RegionBoxes returns the bounding box of each region's boundary, indexed
+// like a.Names, computed in one pass over the arrangement's edges (a
+// region's boundary box equals its extent's box, since a bounded region is
+// contained in its boundary's hull box). Scaffold edges (no owners) are
+// ignored.
+func RegionBoxes(a *arrange.Arrangement) []geom.Box {
+	boxes := make([]geom.Box, len(a.Names))
+	seen := make([]bool, len(a.Names))
+	for ei := range a.Edges {
+		e := &a.Edges[ei]
+		if e.Owners.IsEmpty() {
+			continue
+		}
+		b := geom.BoxOf(a.Verts[e.V1].P, a.Verts[e.V2].P)
+		for i := range a.Names {
+			if !e.Owners.Has(i) {
+				continue
+			}
+			if !seen[i] {
+				boxes[i], seen[i] = b, true
+			} else {
+				boxes[i] = boxes[i].Union(b)
+			}
+		}
+	}
+	return boxes
 }
 
 // AllPairsFrom computes the relation for every ordered pair of distinct
-// region names from an existing arrangement. Each unordered pair is
-// classified once — the reverse direction is its Inverse — on a bounded
-// worker pool; results are merged in pair order, so the output (and the
-// first reported error) is deterministic regardless of scheduling.
+// region names from an existing arrangement, deriving the per-region
+// bounding boxes from the arrangement's own edges.
 func AllPairsFrom(a *arrange.Arrangement) (map[[2]string]Relation, error) {
+	return AllPairsFromBoxes(a, RegionBoxes(a))
+}
+
+// AllPairsFromBoxes computes the relation for every ordered pair of
+// distinct region names from an existing arrangement. boxes must hold the
+// per-region bounding boxes indexed like a.Names (spatial.Instance.Boxes
+// or RegionBoxes). Pairs with disjoint boxes are Disjoint by construction
+// — every cell of either region lives inside its box — and skip the
+// O(cells) matrix scan; the common case in scatter and grid workloads.
+// Each surviving unordered pair is classified once — the reverse direction
+// is its Inverse — on a bounded worker pool; results are merged in pair
+// order, so the output (and the first reported error) is deterministic
+// regardless of scheduling.
+func AllPairsFromBoxes(a *arrange.Arrangement, boxes []geom.Box) (map[[2]string]Relation, error) {
 	names := a.Names
 	n := len(names)
+	if len(boxes) != n {
+		return nil, fmt.Errorf("fourint: %d boxes for %d regions", len(boxes), n)
+	}
+	prune := boxPrune.Load()
 	type pair struct{ i, j int }
 	pairs := make([]pair, 0, n*(n-1)/2)
+	out := make(map[[2]string]Relation, n*(n-1))
 	for i := 0; i < n; i++ {
 		for j := i + 1; j < n; j++ {
+			if prune && !boxes[i].Intersects(boxes[j]) {
+				out[[2]string{names[i], names[j]}] = Disjoint
+				out[[2]string{names[j], names[i]}] = Disjoint
+				continue
+			}
 			pairs = append(pairs, pair{i, j})
 		}
 	}
@@ -186,7 +252,6 @@ func AllPairsFrom(a *arrange.Arrangement) (map[[2]string]Relation, error) {
 		p := pairs[k]
 		rels[k], errs[k] = Classify(MatrixOf(a, p.i, p.j))
 	})
-	out := make(map[[2]string]Relation, 2*len(pairs))
 	for k, p := range pairs {
 		if errs[k] != nil {
 			return nil, fmt.Errorf("fourint: %s vs %s: %w", names[p.i], names[p.j], errs[k])

@@ -63,7 +63,12 @@ func Dot(p, q Pt) rat.R { return p.X.Mul(q.X).Add(p.Y.Mul(q.Y)) }
 
 // Orient returns the orientation of the ordered triple (a, b, c):
 // +1 if counterclockwise (c left of a→b), -1 if clockwise, 0 if collinear.
+// Integer-coordinate inputs are decided by the fused 128-bit fast path
+// (see predicates.go); everything else takes the exact rational route.
 func Orient(a, b, c Pt) int {
+	if s, ok := crossSignFast(a, b, c); ok {
+		return s
+	}
 	return Cross(b.Sub(a), c.Sub(a)).Sign()
 }
 
@@ -162,6 +167,15 @@ func Intersect(s, t Seg) Intersection {
 	if !SegBox(s).Intersects(SegBox(t)) {
 		return Intersection{Kind: NoIntersection}
 	}
+	return IntersectPrefiltered(s, t)
+}
+
+// IntersectPrefiltered is Intersect without the bounding-box fast-reject.
+// The box test in Intersect is purely a filter — the parameter-range and
+// interval-overlap checks below are complete on their own — so callers
+// that have already established box overlap (the sweep in
+// internal/arrange keeps precomputed boxes) skip recomputing it.
+func IntersectPrefiltered(s, t Seg) Intersection {
 	d1 := s.B.Sub(s.A)
 	d2 := t.B.Sub(t.A)
 	denom := Cross(d1, d2)
@@ -225,7 +239,7 @@ func AngleLess(u, v Pt) bool {
 	if hu != hv {
 		return hu < hv
 	}
-	return Cross(u, v).Sign() > 0
+	return CrossSign(u, v) > 0
 }
 
 // AngleCmp is the three-way version of AngleLess: -1 if u comes before v
@@ -239,7 +253,7 @@ func AngleCmp(u, v Pt) int {
 		}
 		return 1
 	}
-	switch Cross(u, v).Sign() {
+	switch CrossSign(u, v) {
 	case 1:
 		return -1
 	case -1:

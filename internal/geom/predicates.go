@@ -1,0 +1,77 @@
+package geom
+
+import "topodb/internal/rat"
+
+// This file holds the fused sign predicates: for points with int64
+// coordinates the orientation and cross-product signs are decided in
+// 128-bit integer arithmetic (rat.CmpProd) without materializing any
+// intermediate rat.R — no rational normalization, no gcd, no big.Rat.
+// Inputs with fractional or oversized coordinates fall back to the exact
+// rational path, so the predicates stay exact on every input.
+
+// crossSignFast returns the sign of (b-a) × (c-a) when all six coordinates
+// are inline int64 integers and the differences stay in range; ok is false
+// otherwise and the caller must take the rational path.
+func crossSignFast(a, b, c Pt) (sign int, ok bool) {
+	ax, ok := a.X.Int64()
+	if !ok {
+		return 0, false
+	}
+	ay, ok := a.Y.Int64()
+	if !ok {
+		return 0, false
+	}
+	bx, ok := b.X.Int64()
+	if !ok {
+		return 0, false
+	}
+	by, ok := b.Y.Int64()
+	if !ok {
+		return 0, false
+	}
+	cx, ok := c.X.Int64()
+	if !ok {
+		return 0, false
+	}
+	cy, ok := c.Y.Int64()
+	if !ok {
+		return 0, false
+	}
+	bax, ok := rat.SubInt64(bx, ax)
+	if !ok {
+		return 0, false
+	}
+	bay, ok := rat.SubInt64(by, ay)
+	if !ok {
+		return 0, false
+	}
+	cax, ok := rat.SubInt64(cx, ax)
+	if !ok {
+		return 0, false
+	}
+	cay, ok := rat.SubInt64(cy, ay)
+	if !ok {
+		return 0, false
+	}
+	// sign of bax*cay - bay*cax, exact in 128 bits.
+	return rat.CmpProd(bax, cay, bay, cax), true
+}
+
+// CrossSign returns the sign of the 2-D cross product p × q without
+// materializing the product when both vectors have int64 components.
+func CrossSign(p, q Pt) int {
+	px, ok := p.X.Int64()
+	if ok {
+		py, ok := p.Y.Int64()
+		if ok {
+			qx, ok := q.X.Int64()
+			if ok {
+				qy, ok := q.Y.Int64()
+				if ok {
+					return rat.CmpProd(px, qy, py, qx)
+				}
+			}
+		}
+	}
+	return Cross(p, q).Sign()
+}

@@ -1,0 +1,107 @@
+package geom
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+
+	"topodb/internal/rat"
+)
+
+// refOrient computes the orientation sign with big.Rat only — no fast
+// paths anywhere.
+func refOrient(a, b, c Pt) int {
+	bax := new(big.Rat).Sub(b.X.Rat(), a.X.Rat())
+	bay := new(big.Rat).Sub(b.Y.Rat(), a.Y.Rat())
+	cax := new(big.Rat).Sub(c.X.Rat(), a.X.Rat())
+	cay := new(big.Rat).Sub(c.Y.Rat(), a.Y.Rat())
+	l := new(big.Rat).Mul(bax, cay)
+	r := new(big.Rat).Mul(bay, cax)
+	return l.Cmp(r)
+}
+
+// Orient near the int64 extremes: coordinate differences overflow int64
+// (forcing the big-path fallback) on some triples and just barely fit on
+// others; both must agree with the big.Rat reference.
+func TestOrientOverflowBoundary(t *testing.T) {
+	const hi = math.MaxInt64 - 2
+	const lo = math.MinInt64 + 2
+	coords := []int64{lo, lo + 1, -1, 0, 1, hi - 1, hi, 1 << 62, -(1 << 62)}
+	pts := make([]Pt, 0, len(coords)*len(coords))
+	for _, x := range coords {
+		for _, y := range coords {
+			pts = append(pts, P(x, y))
+		}
+	}
+	rng := rand.New(rand.NewSource(63))
+	for i := 0; i < 30000; i++ {
+		a := pts[rng.Intn(len(pts))]
+		b := pts[rng.Intn(len(pts))]
+		c := pts[rng.Intn(len(pts))]
+		if got, want := Orient(a, b, c), refOrient(a, b, c); got != want {
+			t.Fatalf("Orient(%s, %s, %s) = %d, want %d", a, b, c, got, want)
+		}
+	}
+}
+
+// Orient on mixed inputs: fractional coordinates (den != 1) must take the
+// rational path and still agree with the reference; collinear triples with
+// huge coordinates must report exactly zero.
+func TestOrientMixedAndCollinear(t *testing.T) {
+	half := rat.FromFrac(1, 2)
+	frac := Pt{X: half, Y: half}
+	a, b := P(0, 0), P(1, 1)
+	if got := Orient(a, b, frac); got != 0 {
+		t.Fatalf("fractional midpoint of diagonal: Orient = %d, want 0", got)
+	}
+	// Collinear at the extremes: (lo,lo), (0,0), (hi,hi) with hi = -lo.
+	big1 := P(-(1 << 62), -(1 << 62))
+	big2 := P(1<<62, 1<<62)
+	if got := Orient(big1, P(0, 0), big2); got != 0 {
+		t.Fatalf("huge collinear triple: Orient = %d, want 0", got)
+	}
+	// A one-ulp perturbation must flip to a strict sign.
+	if got := Orient(big1, P(0, 1), big2); got != refOrient(big1, P(0, 1), big2) || got == 0 {
+		t.Fatalf("perturbed triple: Orient = %d (ref %d)", got, refOrient(big1, P(0, 1), big2))
+	}
+}
+
+// CrossSign must agree with the materializing Cross().Sign() on random
+// int64 vectors spanning the overflow boundary, and on fractional inputs.
+func TestCrossSignAgreesWithCross(t *testing.T) {
+	rng := rand.New(rand.NewSource(512))
+	for i := 0; i < 30000; i++ {
+		p := P(int64(rng.Uint64()), int64(rng.Uint64()))
+		q := P(int64(rng.Uint64()), int64(rng.Uint64()))
+		if got, want := CrossSign(p, q), Cross(p, q).Sign(); got != want {
+			t.Fatalf("CrossSign(%s, %s) = %d, want %d", p, q, got, want)
+		}
+	}
+	p := PFrac(1, 3, 2, 3)
+	q := PFrac(2, 3, 4, 3)
+	if got := CrossSign(p, q); got != 0 {
+		t.Fatalf("parallel fractional vectors: CrossSign = %d, want 0", got)
+	}
+}
+
+// IntersectPrefiltered must agree with Intersect whenever the boxes
+// overlap — the contract the arrangement sweep relies on.
+func TestIntersectPrefilteredAgrees(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for i := 0; i < 20000; i++ {
+		s := Seg{P(int64(rng.Intn(20)), int64(rng.Intn(20))), P(int64(rng.Intn(20)), int64(rng.Intn(20)))}
+		u := Seg{P(int64(rng.Intn(20)), int64(rng.Intn(20))), P(int64(rng.Intn(20)), int64(rng.Intn(20)))}
+		if s.IsDegenerate() || u.IsDegenerate() {
+			continue
+		}
+		if !SegBox(s).Intersects(SegBox(u)) {
+			continue
+		}
+		a, b := Intersect(s, u), IntersectPrefiltered(s, u)
+		if a.Kind != b.Kind || (a.Kind != NoIntersection && !a.P.Equal(b.P)) ||
+			(a.Kind == OverlapIntersection && !a.Q.Equal(b.Q)) {
+			t.Fatalf("Intersect(%s, %s): %+v vs prefiltered %+v", s, u, a, b)
+		}
+	}
+}

@@ -183,7 +183,32 @@ func LocateInRings(p Pt, edges []Seg) PointLocation {
 	return Outside
 }
 
-// RingContains classifies p against the single ring r.
+// RingContains classifies p against the single ring r. It walks the vertex
+// cycle directly — same even–odd rule as LocateInRings, but without
+// materializing the edge list: cell labeling calls this once per
+// (cell, region) pair, so the per-call allocation dominated arrangement
+// construction before it was removed.
 func RingContains(r Ring, p Pt) PointLocation {
-	return LocateInRings(p, r.Edges())
+	inside := false
+	n := len(r)
+	for i := 0; i < n; i++ {
+		a, b := r[i], r[(i+1)%n]
+		if OnSegment(p, a, b) {
+			return OnBoundary
+		}
+		switch a.Y.Cmp(b.Y) {
+		case 0:
+			continue // horizontal edges never counted (p not on them here)
+		case 1:
+			a, b = b, a
+		}
+		// Count if a.Y <= p.Y < b.Y and p is strictly left of the edge.
+		if a.Y.LessEq(p.Y) && p.Y.Less(b.Y) && Orient(a, b, p) > 0 {
+			inside = !inside
+		}
+	}
+	if inside {
+		return Inside
+	}
+	return Outside
 }

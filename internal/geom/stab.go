@@ -1,0 +1,52 @@
+package geom
+
+import "sort"
+
+// StabBoxes returns, for each query point, the indices of the boxes whose
+// closed extent contains it — the batched form of Box.ContainsPt. A single
+// x-sweep (points and box intervals sorted once, an active list retiring
+// boxes the sweep line has passed) does interval work proportional to the
+// actual stabbing count instead of len(pts) × len(boxes) pairwise tests:
+// cell labeling in internal/arrange uses it to find, for every cell of the
+// arrangement, the regions whose ring needs an exact point-location walk.
+// Per-point index order is not specified.
+func StabBoxes(pts []Pt, boxes []Box) [][]int32 {
+	res := make([][]int32, len(pts))
+	po := make([]int, len(pts))
+	for i := range po {
+		po[i] = i
+	}
+	sort.Slice(po, func(a, b int) bool {
+		return pts[po[a]].X.Cmp(pts[po[b]].X) < 0
+	})
+	bo := make([]int, len(boxes))
+	for i := range bo {
+		bo[i] = i
+	}
+	sort.Slice(bo, func(a, b int) bool {
+		return boxes[bo[a]].MinX.Cmp(boxes[bo[b]].MinX) < 0
+	})
+	var active []int32
+	next := 0
+	for _, pi := range po {
+		px, py := pts[pi].X, pts[pi].Y
+		for next < len(bo) && boxes[bo[next]].MinX.LessEq(px) {
+			active = append(active, int32(bo[next]))
+			next++
+		}
+		kept := active[:0]
+		var out []int32
+		for _, b := range active {
+			if boxes[b].MaxX.Cmp(px) < 0 {
+				continue // the sweep line moved past this box: retire it
+			}
+			kept = append(kept, b)
+			if boxes[b].MinY.LessEq(py) && py.LessEq(boxes[b].MaxY) {
+				out = append(out, b)
+			}
+		}
+		active = kept
+		res[pi] = out
+	}
+	return res
+}

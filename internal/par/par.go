@@ -45,6 +45,16 @@ func For(n int, fn func(i int)) {
 // locking. shards should come from Shards(n). With shards <= 1 the loop
 // runs sequentially in iteration order on shard 0.
 func ForShard(shards, n int, fn func(shard, i int)) {
+	ForBatch(shards, n, 1, fn)
+}
+
+// ForBatch is ForShard with iterations claimed in contiguous batches of
+// size batch, amortizing the shared atomic cursor across batch calls of
+// fn. Use it when the per-iteration body is cheap relative to an atomic
+// RMW (e.g. one candidate-pair intersection test in the arrangement
+// sweep); batch <= 1 degrades to per-iteration claiming. With shards <= 1
+// the loop runs sequentially in iteration order on shard 0.
+func ForBatch(shards, n, batch int, fn func(shard, i int)) {
 	if n <= 0 {
 		return
 	}
@@ -54,6 +64,9 @@ func ForShard(shards, n int, fn func(shard, i int)) {
 		}
 		return
 	}
+	if batch < 1 {
+		batch = 1
+	}
 	var next int64
 	var wg sync.WaitGroup
 	wg.Add(shards)
@@ -61,11 +74,17 @@ func ForShard(shards, n int, fn func(shard, i int)) {
 		go func(w int) {
 			defer wg.Done()
 			for {
-				i := int(atomic.AddInt64(&next, 1)) - 1
-				if i >= n {
+				lo := int(atomic.AddInt64(&next, int64(batch))) - batch
+				if lo >= n {
 					return
 				}
-				fn(w, i)
+				hi := lo + batch
+				if hi > n {
+					hi = n
+				}
+				for i := lo; i < hi; i++ {
+					fn(w, i)
+				}
 			}
 		}(w)
 	}

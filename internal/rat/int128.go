@@ -1,0 +1,72 @@
+package rat
+
+import "math/bits"
+
+// This file holds the 128-bit exact-product kernel behind the hot
+// comparison predicates. A product of two int64 values always fits in a
+// signed 128-bit integer, so cross-multiplication comparisons — the inner
+// loop of R.Cmp and of the geometric orientation predicate — never need
+// math/big at all when both operands are in the inline representation.
+
+// int128 is a signed 128-bit integer in two's complement (hi:lo).
+type int128 struct {
+	hi int64
+	lo uint64
+}
+
+// mul128 returns a*b as a signed 128-bit value, exactly.
+func mul128(a, b int64) int128 {
+	neg := (a < 0) != (b < 0)
+	ua, ub := uint64(a), uint64(b)
+	if a < 0 {
+		ua = -ua
+	}
+	if b < 0 {
+		ub = -ub
+	}
+	hi, lo := bits.Mul64(ua, ub)
+	if neg {
+		// Two's-complement negate the 128-bit magnitude.
+		hi, lo = ^hi, ^lo
+		lo++
+		if lo == 0 {
+			hi++
+		}
+	}
+	return int128{int64(hi), lo}
+}
+
+// cmp128 compares two signed 128-bit values, returning -1, 0, or +1.
+func cmp128(x, y int128) int {
+	if x.hi != y.hi {
+		if x.hi < y.hi {
+			return -1
+		}
+		return 1
+	}
+	if x.lo != y.lo {
+		if x.lo < y.lo {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// CmpProd returns the sign of a*b - c*d, computed exactly in 128-bit
+// arithmetic — no overflow case exists, so there is no big.Rat fallback.
+// It is the shared kernel of R.Cmp and the fused orientation predicates in
+// internal/geom.
+func CmpProd(a, b, c, d int64) int {
+	return cmp128(mul128(a, b), mul128(c, d))
+}
+
+// SubInt64 returns b - a and whether the subtraction stayed within int64.
+// Helper for predicate fast paths that difference raw coordinates before
+// multiplying.
+func SubInt64(b, a int64) (int64, bool) {
+	d := b - a
+	// Overflow iff the operands have opposite signs and the result has the
+	// sign of a (i.e. flipped away from b).
+	return d, (b^a) >= 0 || (b^d) >= 0
+}

@@ -1,0 +1,107 @@
+package rat
+
+import (
+	"math"
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// refCmpProd is the big.Int reference for sign(a*b - c*d).
+func refCmpProd(a, b, c, d int64) int {
+	ab := new(big.Int).Mul(big.NewInt(a), big.NewInt(b))
+	cd := new(big.Int).Mul(big.NewInt(c), big.NewInt(d))
+	return ab.Cmp(cd)
+}
+
+// boundary holds the adversarial operands: extremes, near-extremes, and
+// values whose products straddle the int64 and 2^126 boundaries.
+var boundary = []int64{
+	0, 1, -1, 2, -2, 3, -3,
+	math.MaxInt64, math.MinInt64,
+	math.MaxInt64 - 1, math.MinInt64 + 1,
+	1 << 62, -(1 << 62), (1 << 62) - 1, -(1 << 62) + 1,
+	1 << 31, -(1 << 31), (1 << 31) + 1,
+	3037000499, -3037000499, // isqrt(MaxInt64): products cross 2^63 here
+	3037000500, -3037000500,
+}
+
+// Exhaustive product-sign agreement over the boundary set: every
+// (a,b,c,d) combination of extreme operands, 23^4 ≈ 280k cases.
+func TestCmpProdBoundaryExhaustive(t *testing.T) {
+	for _, a := range boundary {
+		for _, b := range boundary {
+			for _, c := range boundary {
+				for _, d := range boundary {
+					if got, want := CmpProd(a, b, c, d), refCmpProd(a, b, c, d); got != want {
+						t.Fatalf("CmpProd(%d,%d,%d,%d) = %d, want %d", a, b, c, d, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Randomized agreement on full-range operands (deterministic seed).
+func TestCmpProdRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(128128))
+	for i := 0; i < 200000; i++ {
+		a, b := int64(rng.Uint64()), int64(rng.Uint64())
+		c, d := int64(rng.Uint64()), int64(rng.Uint64())
+		if i%17 == 0 {
+			c, d = a, b // force the equality path
+		}
+		if got, want := CmpProd(a, b, c, d), refCmpProd(a, b, c, d); got != want {
+			t.Fatalf("CmpProd(%d,%d,%d,%d) = %d, want %d", a, b, c, d, got, want)
+		}
+	}
+}
+
+// R.Cmp on fractions whose cross-products overflow int64 — the case the
+// old guarded fast path punted to big.Rat and the 128-bit path now decides
+// inline — must agree with the big.Rat reference, including mixed
+// small/big-representation operands.
+func TestCmpOverflowBoundary(t *testing.T) {
+	nums := []int64{
+		math.MaxInt64, math.MinInt64 + 1, (1 << 62) - 1, -(1 << 62),
+		math.MaxInt64 - 1, 3037000499, 1, -1,
+	}
+	dens := []int64{1, 2, 3, (1 << 62) - 1, math.MaxInt64, 3037000500}
+	var vals []R
+	for _, n := range nums {
+		for _, d := range dens {
+			vals = append(vals, FromFrac(n, d))
+		}
+	}
+	// Mixed representations: the same values forced through big.Rat, plus
+	// values too large for the inline form.
+	for _, n := range nums[:3] {
+		br := new(big.Rat).SetFrac64(n, 3)
+		br.Mul(br, new(big.Rat).SetInt64(math.MaxInt64))
+		vals = append(vals, FromBig(br))
+	}
+	for _, x := range vals {
+		for _, y := range vals {
+			want := x.Rat().Cmp(y.Rat())
+			if got := x.Cmp(y); got != want {
+				t.Fatalf("Cmp(%s, %s) = %d, want %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+// SubInt64 must agree with 128-bit-safe subtraction on the boundary set.
+func TestSubInt64Boundary(t *testing.T) {
+	for _, a := range boundary {
+		for _, b := range boundary {
+			d, ok := SubInt64(b, a)
+			ref := new(big.Int).Sub(big.NewInt(b), big.NewInt(a))
+			if ok != ref.IsInt64() {
+				t.Fatalf("SubInt64(%d, %d) ok=%v, want %v", b, a, ok, ref.IsInt64())
+			}
+			if ok && d != ref.Int64() {
+				t.Fatalf("SubInt64(%d, %d) = %d, want %s", b, a, d, ref)
+			}
+		}
+	}
+}

@@ -249,21 +249,16 @@ func (r R) Sign() int {
 	return 0
 }
 
-// Cmp compares r and s, returning -1, 0, or +1.
+// Cmp compares r and s, returning -1, 0, or +1. When both values are in
+// the inline representation the cross-multiplication comparison is done
+// exactly in 128-bit arithmetic (denominators are positive, so the sign of
+// rn*sd - sn*rd is the answer) — the small×small case never touches
+// math/big, regardless of magnitude.
 func (r R) Cmp(s R) int {
 	if r.isSmall() && s.isSmall() {
 		rn, rd := r.normSmall()
 		sn, sd := s.normSmall()
-		if !mulOverflows(rn, sd) && !mulOverflows(sn, rd) {
-			a, b := rn*sd, sn*rd
-			switch {
-			case a < b:
-				return -1
-			case a > b:
-				return 1
-			}
-			return 0
-		}
+		return CmpProd(rn, sd, sn, rd)
 	}
 	return r.Rat().Cmp(s.Rat())
 }
@@ -276,6 +271,20 @@ func (r R) Less(s R) bool { return r.Cmp(s) < 0 }
 
 // LessEq reports r <= s.
 func (r R) LessEq(s R) bool { return r.Cmp(s) <= 0 }
+
+// Int64 returns the value as an int64 when r is an integer in the inline
+// representation. The fused geometric predicates use it to divert
+// integer-coordinate inputs onto the allocation-free 128-bit fast path.
+func (r R) Int64() (int64, bool) {
+	if r.big != nil {
+		return 0, false
+	}
+	n, d := r.normSmall()
+	if d != 1 {
+		return 0, false
+	}
+	return n, true
+}
 
 // IsInt reports whether r is an integer.
 func (r R) IsInt() bool {

@@ -94,6 +94,17 @@ func (in *Instance) Box() (geom.Box, bool) {
 	return b, true
 }
 
+// Boxes returns the bounding box of each region in Names() order. The
+// all-pairs classifier uses them to resolve box-disjoint pairs without
+// touching the cell complex.
+func (in *Instance) Boxes() []geom.Box {
+	boxes := make([]geom.Box, len(in.names))
+	for i, n := range in.names {
+		boxes[i] = in.ext[n].Box()
+	}
+	return boxes
+}
+
 // Clone returns a deep-enough copy (regions are immutable by convention).
 func (in *Instance) Clone() *Instance {
 	out := New()

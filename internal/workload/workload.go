@@ -7,6 +7,7 @@ package workload
 
 import (
 	"fmt"
+	"math/rand"
 
 	"topodb/internal/region"
 	"topodb/internal/spatial"
@@ -66,6 +67,63 @@ func LensStack(n int) *spatial.Instance {
 	for i := 0; i < n; i++ {
 		d := int64(i)
 		in.MustAdd(fmt.Sprintf("L%03d", i), region.MustRect(d, -d, d+10, 10-d))
+	}
+	return in
+}
+
+// SparseScatter returns n small rectangles pseudo-randomly scattered over
+// an area that grows with n, keeping the density — and therefore the
+// number of pairwise intersections — low and roughly constant. It is the
+// sweep-pruning showcase: almost every pair of segments has disjoint
+// bounding boxes, so an output-sensitive intersection pass does O(n log n)
+// work where the all-pairs reference does O(n²). Deterministic: the
+// generator is seeded from n only.
+func SparseScatter(n int) *spatial.Instance {
+	rng := rand.New(rand.NewSource(0x5ca77e4 + int64(n)))
+	// ~9 area cells per region keeps expected overlaps per region well
+	// below 1 while still producing a few intersecting pairs.
+	side := int64(1)
+	for side*side < int64(n)*9 {
+		side++
+	}
+	side *= 8 // cell pitch 8, rect sizes 2..6
+	in := spatial.New()
+	var px, py int64
+	for i := 0; i < n; i++ {
+		w := int64(2 + rng.Intn(5))
+		h := int64(2 + rng.Intn(5))
+		x := int64(rng.Intn(int(side - w)))
+		y := int64(rng.Intn(int(side - h)))
+		if i%16 == 15 {
+			// Every 16th rectangle is pinned to overlap its predecessor, so
+			// the workload always has a small deterministic population of
+			// intersecting pairs for the sweep to find (random placement at
+			// this density can plausibly produce none).
+			x, y = px+1, py+1
+		}
+		in.MustAdd(fmt.Sprintf("S%04d", i), region.MustRect(x, y, x+w, y+h))
+		px, py = x, y
+	}
+	return in
+}
+
+// CityBlocks returns 2n regions forming a dense street mesh: n horizontal
+// avenues and n vertical streets, every avenue crossing every street — n²
+// crossing pairs, each contributing four boundary intersections. It is the
+// sweep's adversarial workload: nearly all bounding boxes overlap (every
+// avenue spans the full x-range), so pruning removes almost nothing and
+// the sweep must match the all-pairs path's throughput on the exact tests
+// that remain.
+func CityBlocks(n int) *spatial.Instance {
+	in := spatial.New()
+	span := int64(6 * n)
+	for i := 0; i < n; i++ {
+		y := int64(6 * i)
+		in.MustAdd(fmt.Sprintf("Ave%03d", i), region.MustRect(0, y, span, y+2))
+	}
+	for j := 0; j < n; j++ {
+		x := int64(6 * j)
+		in.MustAdd(fmt.Sprintf("St%03d", j), region.MustRect(x, 0, x+2, span))
 	}
 	return in
 }

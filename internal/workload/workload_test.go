@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"testing"
 
 	"topodb/internal/arrange"
@@ -119,5 +120,65 @@ func TestDeterminism(t *testing.T) {
 	b, _ := invariant.New(OverlapChain(6))
 	if a.Canonical() != b.Canonical() {
 		t.Fatal("generator not deterministic")
+	}
+	s1, _ := invariant.New(SparseScatter(40))
+	s2, _ := invariant.New(SparseScatter(40))
+	if s1.Canonical() != s2.Canonical() {
+		t.Fatal("SparseScatter not deterministic")
+	}
+}
+
+// SparseScatter must be sparse: the overwhelming majority of region pairs
+// are disjoint, so the sweep and the box prune have something to skip.
+func TestSparseScatterIsSparse(t *testing.T) {
+	in := SparseScatter(80)
+	if in.Len() != 80 {
+		t.Fatalf("len = %d", in.Len())
+	}
+	rels, err := fourint.AllPairs(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disjoint, total := 0, 0
+	for _, r := range rels {
+		total++
+		if r == fourint.Disjoint {
+			disjoint++
+		}
+	}
+	if disjoint*10 < total*9 {
+		t.Fatalf("only %d/%d pairs disjoint; scatter is not sparse", disjoint, total)
+	}
+	if disjoint == total {
+		t.Fatal("no intersecting pairs at all; scatter exercises nothing")
+	}
+}
+
+// CityBlocks must be dense: every avenue overlaps every street, giving the
+// sweep a worst case where pruning removes (almost) nothing.
+func TestCityBlocksDense(t *testing.T) {
+	in := CityBlocks(4)
+	if in.Len() != 8 {
+		t.Fatalf("len = %d", in.Len())
+	}
+	rels, err := fourint.AllPairs(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			k := [2]string{fmt.Sprintf("Ave%03d", i), fmt.Sprintf("St%03d", j)}
+			if rels[k] != fourint.Overlap {
+				t.Fatalf("%v: %v, want overlap", k, rels[k])
+			}
+		}
+	}
+	a, err := arrange.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, e, f := a.Stats()
+	if v-e+f != 1+len(a.Comps) {
+		t.Fatalf("Euler violated: %d-%d+%d vs 1+%d", v, e, f, len(a.Comps))
 	}
 }
