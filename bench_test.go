@@ -8,6 +8,7 @@
 package topodb
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"testing"
@@ -417,6 +418,51 @@ func BenchmarkCachedQuery(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := db.QueryBatch(queries); err != nil {
 				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkPreparedQuery contrasts warm evaluation through a
+// PreparedQuery (parsed once at prepare time) with the parse-per-call
+// Query path on the same cached universe: the delta is exactly the
+// per-call parse + analysis cost, which preparation eliminates.
+func BenchmarkPreparedQuery(b *testing.B) {
+	const q = "some cell r: subset(r, C000) and subset(r, C001)"
+	db := wrap(workload.OverlapChain(12))
+	pq, err := db.Prepare(q)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	if ok, err := pq.Eval(ctx); err != nil || !ok {
+		b.Fatal(ok, err)
+	}
+	b.Run("prepared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ok, err := pq.Eval(ctx); err != nil || !ok {
+				b.Fatal(ok, err)
+			}
+		}
+	})
+	b.Run("unprepared", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if ok, err := db.Query(q); err != nil || !ok {
+				b.Fatal(ok, err)
+			}
+		}
+	})
+	b.Run("prepared_snapshot", func(b *testing.B) {
+		// The fully pinned serving path: one snapshot, one prepared
+		// query, zero per-call locking beyond the artifact map hit.
+		s := db.Snapshot()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if ok, err := pq.EvalOn(ctx, s, 0); err != nil || !ok {
+				b.Fatal(ok, err)
 			}
 		}
 	})

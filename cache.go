@@ -1,6 +1,7 @@
 package topodb
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -10,10 +11,11 @@ import (
 	"topodb/internal/geom"
 	"topodb/internal/invariant"
 	"topodb/internal/reldb"
+	"topodb/internal/spatial"
 	"topodb/internal/thematic"
 )
 
-// artifactKind enumerates the derived artifacts an Instance memoizes. The
+// artifactKind enumerates the derived artifacts a generation memoizes. The
 // artifacts form a derivation chain — arrangement → invariant → thematic,
 // arrangement → universe(0), (arrangement, boxes) → relations — so one
 // arrangement build feeds every consumer.
@@ -44,32 +46,39 @@ type cacheEntry struct {
 	err  error
 }
 
-// artifactCache is a generation-stamped memo of derived artifacts. Entries
-// are valid for exactly one spatial-instance generation: when the
-// requested generation differs from the stamped one the whole map is
-// discarded, so a mutation invalidates everything at once and stale
-// in-flight computations complete harmlessly into dropped entries.
-type artifactCache struct {
+// genCache holds the frozen state of one mutation generation: a
+// deep-enough clone of the spatial instance plus the memoized derived
+// artifacts computed from it. The clone never mutates, so every build and
+// every read against a genCache runs without the Instance lock — long
+// evaluations on a snapshot cannot contend with Add* writers. A genCache
+// outlives the instance's interest in it for exactly as long as some
+// Snapshot still references it; then the GC collects generation and
+// artifacts together.
+type genCache struct {
+	gen uint64
+	in  *spatial.Instance // frozen; never mutated after construction
+
 	mu      sync.Mutex
-	gen     uint64
 	entries map[artifactKey]*cacheEntry
 }
 
-// get returns the artifact for key at generation gen, invoking build at
-// most once per (generation, key) — concurrent callers for the same key
-// block until the winning computation publishes its result. build runs
-// without the cache lock held, so builds for different keys proceed in
-// parallel and may themselves call get (the derivation chain nests).
-func (c *artifactCache) get(gen uint64, key artifactKey, build func() (any, error)) (any, error) {
+// get returns the artifact for key, invoking build at most once per key —
+// concurrent callers for the same key block until the winning computation
+// publishes its result. build runs without the cache lock held, so builds
+// for different keys proceed in parallel and may themselves call get (the
+// derivation chain nests). Waiting on another caller's in-flight build is
+// ctx-aware; the build itself always runs to completion (its result stays
+// useful to every other requester of this generation).
+func (c *genCache) get(ctx context.Context, key artifactKey, build func() (any, error)) (any, error) {
 	c.mu.Lock()
-	if c.entries == nil || c.gen != gen {
-		c.entries = make(map[artifactKey]*cacheEntry)
-		c.gen = gen
-	}
 	if e, ok := c.entries[key]; ok {
 		c.mu.Unlock()
-		<-e.done
-		return e.val, e.err
+		select {
+		case <-e.done:
+			return e.val, e.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	c.entries[key] = e
@@ -89,15 +98,39 @@ func (c *artifactCache) get(gen uint64, key artifactKey, build func() (any, erro
 	return e.val, e.err
 }
 
-// The typed accessors below are the only consumers of the cache. All of
-// them must be called with db.mu held (read or write): the lock guarantees
-// the spatial instance — and therefore its generation — cannot move while
-// a build is in flight, which is what makes the generation stamp coherent.
+// artifactCache hands out the genCache of the instance's current
+// generation, creating it (with a frozen clone of the spatial instance) the
+// first time a generation is read. Only the newest generation is retained
+// here; older ones live on exactly as long as their snapshots do.
+type artifactCache struct {
+	mu  sync.Mutex
+	cur *genCache
+}
 
-// arrangement returns the memoized cell complex of the instance.
-func (db *Instance) arrangement() (*arrange.Arrangement, error) {
-	v, err := db.cache.get(db.in.Gen(), artifactKey{kind: arrangementKind}, func() (any, error) {
-		return arrange.Build(db.in)
+// at must be called with db.mu held (read or write): the lock guarantees
+// the spatial instance — and therefore its generation — cannot move while
+// the clone is taken, which is what makes the frozen copy coherent.
+func (c *artifactCache) at(gen uint64, in *spatial.Instance) *genCache {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.cur == nil || c.cur.gen != gen {
+		c.cur = &genCache{
+			gen:     gen,
+			in:      in.Clone(),
+			entries: make(map[artifactKey]*cacheEntry),
+		}
+	}
+	return c.cur
+}
+
+// The typed accessors below are the only consumers of the cache. They are
+// Snapshot methods: every artifact derives from the snapshot's frozen
+// clone, never from the live instance.
+
+// arrangement returns the memoized cell complex of the snapshot.
+func (s *Snapshot) arrangement(ctx context.Context) (*arrange.Arrangement, error) {
+	v, err := s.c.get(ctx, artifactKey{kind: arrangementKind}, func() (any, error) {
+		return arrange.Build(s.c.in)
 	})
 	if err != nil {
 		return nil, err
@@ -108,16 +141,16 @@ func (db *Instance) arrangement() (*arrange.Arrangement, error) {
 // universe returns the memoized query universe at refinement level k. The
 // unrefined universe is derived from the shared arrangement; refined ones
 // need their own scaffolded arrangement.
-func (db *Instance) universe(k int) (*folang.Universe, error) {
-	v, err := db.cache.get(db.in.Gen(), artifactKey{kind: universeKind, k: k}, func() (any, error) {
+func (s *Snapshot) universe(ctx context.Context, k int) (*folang.Universe, error) {
+	v, err := s.c.get(ctx, artifactKey{kind: universeKind, k: k}, func() (any, error) {
 		if k == 0 {
-			a, err := db.arrangement()
+			a, err := s.arrangement(ctx)
 			if err != nil {
 				return nil, err
 			}
-			return folang.NewUniverseFromArrangement(a, db.in)
+			return folang.NewUniverseFromArrangement(a, s.c.in)
 		}
-		return folang.NewUniverse(db.in, k)
+		return folang.NewUniverse(s.c.in, k)
 	})
 	if err != nil {
 		return nil, err
@@ -126,9 +159,9 @@ func (db *Instance) universe(k int) (*folang.Universe, error) {
 }
 
 // invariantT returns the memoized topological invariant T_I.
-func (db *Instance) invariantT() (*invariant.T, error) {
-	v, err := db.cache.get(db.in.Gen(), artifactKey{kind: invariantKind}, func() (any, error) {
-		a, err := db.arrangement()
+func (s *Snapshot) invariantT(ctx context.Context) (*invariant.T, error) {
+	v, err := s.c.get(ctx, artifactKey{kind: invariantKind}, func() (any, error) {
+		a, err := s.arrangement(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -141,9 +174,9 @@ func (db *Instance) invariantT() (*invariant.T, error) {
 }
 
 // sinvariantT returns the memoized S-invariant (Theorem 6.1).
-func (db *Instance) sinvariantT() (*invariant.T, error) {
-	v, err := db.cache.get(db.in.Gen(), artifactKey{kind: sinvariantKind}, func() (any, error) {
-		return invariant.SInvariant(db.in)
+func (s *Snapshot) sinvariantT(ctx context.Context) (*invariant.T, error) {
+	v, err := s.c.get(ctx, artifactKey{kind: sinvariantKind}, func() (any, error) {
+		return invariant.SInvariant(s.c.in)
 	})
 	if err != nil {
 		return nil, err
@@ -152,9 +185,9 @@ func (db *Instance) sinvariantT() (*invariant.T, error) {
 }
 
 // thematicDB returns the memoized relational image thematic(I).
-func (db *Instance) thematicDB() (*reldb.DB, error) {
-	v, err := db.cache.get(db.in.Gen(), artifactKey{kind: thematicKind}, func() (any, error) {
-		t, err := db.invariantT()
+func (s *Snapshot) thematicDB(ctx context.Context) (*reldb.DB, error) {
+	v, err := s.c.get(ctx, artifactKey{kind: thematicKind}, func() (any, error) {
+		t, err := s.invariantT(ctx)
 		if err != nil {
 			return nil, err
 		}
@@ -170,9 +203,9 @@ func (db *Instance) thematicDB() (*reldb.DB, error) {
 // the instance's sorted names). They are derived straight from the spatial
 // instance — no arrangement needed — so the all-pairs classifier can prune
 // box-disjoint pairs without waiting on, or scanning, the cell complex.
-func (db *Instance) regionBoxes() ([]geom.Box, error) {
-	v, err := db.cache.get(db.in.Gen(), artifactKey{kind: boxesKind}, func() (any, error) {
-		return db.in.Boxes(), nil
+func (s *Snapshot) regionBoxes(ctx context.Context) ([]geom.Box, error) {
+	v, err := s.c.get(ctx, artifactKey{kind: boxesKind}, func() (any, error) {
+		return s.c.in.Boxes(), nil
 	})
 	if err != nil {
 		return nil, err
@@ -182,13 +215,13 @@ func (db *Instance) regionBoxes() ([]geom.Box, error) {
 
 // relations returns the memoized all-pairs relation map. Callers must not
 // mutate it; the public AllRelations copies.
-func (db *Instance) relations() (map[[2]string]Relation, error) {
-	v, err := db.cache.get(db.in.Gen(), artifactKey{kind: relationsKind}, func() (any, error) {
-		a, err := db.arrangement()
+func (s *Snapshot) relations(ctx context.Context) (map[[2]string]Relation, error) {
+	v, err := s.c.get(ctx, artifactKey{kind: relationsKind}, func() (any, error) {
+		a, err := s.arrangement(ctx)
 		if err != nil {
 			return nil, err
 		}
-		boxes, err := db.regionBoxes()
+		boxes, err := s.regionBoxes(ctx)
 		if err != nil {
 			return nil, err
 		}

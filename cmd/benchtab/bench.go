@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -76,9 +77,9 @@ func allPairs(a *arrange.Arrangement, prune bool) testing.BenchmarkResult {
 	})
 }
 
-// bench runs the performance baseline and prints it as a text table, or as
-// the BENCH_pr2.json document with -json.
-func bench() {
+// collectBench runs the performance baseline and returns the
+// machine-readable document.
+func collectBench() benchDoc {
 	var rows []benchRow
 
 	// Cold arrangement construction, sweep vs all-pairs reference.
@@ -139,16 +140,141 @@ func bench() {
 			}
 		})))
 
-	doc := benchDoc{Schema: "topodb-bench/v1", GoMaxProcs: runtime.GOMAXPROCS(0), Rows: rows}
+	// Prepared vs unprepared warm queries: both hit the same cached
+	// universe, so the delta is exactly the per-call parse + analysis
+	// cost a PreparedQuery eliminates.
+	pdb := topodb.Wrap(workload.OverlapChain(12))
+	pq, err := pdb.Prepare(q)
+	check(err)
+	ctx := context.Background()
+	if ok, err := pq.Eval(ctx); err != nil || !ok {
+		check(fmt.Errorf("prepared warm-up failed: %v %v", ok, err))
+	}
+	rows = append(rows, row("prepared_query", "overlap_chain", 12, "prepared",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if ok, err := pq.Eval(ctx); err != nil || !ok {
+					b.Fatal(ok, err)
+				}
+			}
+		})))
+	rows = append(rows, row("prepared_query", "overlap_chain", 12, "unprepared",
+		testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if ok, err := pdb.Query(q); err != nil || !ok {
+					b.Fatal(ok, err)
+				}
+			}
+		})))
+
+	return benchDoc{Schema: "topodb-bench/v1", GoMaxProcs: runtime.GOMAXPROCS(0), Rows: rows}
+}
+
+// bench runs the performance baseline and prints it as a text table, or as
+// the BENCH_prN.json document with -json.
+func bench() {
+	doc := collectBench()
 	if *jsonOut {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		check(enc.Encode(doc))
 		return
 	}
-	fmt.Println("Performance baseline (ns/op; see BENCH_pr2.json for the committed run):")
-	for _, r := range rows {
-		fmt.Printf("  %-12s %-15s n=%-4d %-9s %12.0f ns/op %10d B/op %8d allocs/op\n",
+	printBench(doc)
+}
+
+func printBench(doc benchDoc) {
+	fmt.Println("Performance baseline (ns/op; see BENCH_pr3.json for the committed run):")
+	for _, r := range doc.Rows {
+		fmt.Printf("  %-14s %-15s n=%-4d %-10s %12.0f ns/op %10d B/op %8d allocs/op\n",
 			r.Name, r.Workload, r.Size, r.Mode, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp)
 	}
+}
+
+// speedupPairs maps each benchmark family to its (fast, slow) mode pair;
+// the slow/fast ns ratio is the speedup the family must preserve.
+var speedupPairs = map[string][2]string{
+	"cold_build":   {"sweep", "naive"},
+	"all_pairs":    {"pruned", "unpruned"},
+	"cached_query": {"warm", "cold"},
+}
+
+// compareBench reruns the baseline and gates it against a committed
+// BENCH_prN.json: every speedup ratio recorded in the baseline must be
+// preserved up to a generous noise factor (ratios are far more stable
+// across machines than absolute ns/op), and the prepared path must not
+// be slower than re-parsing. Exits nonzero on regression.
+func compareBench(baselinePath string) {
+	data, err := os.ReadFile(baselinePath)
+	check(err)
+	var base benchDoc
+	check(json.Unmarshal(data, &base))
+	cur := collectBench()
+	printBench(cur)
+
+	index := func(doc benchDoc) map[[4]string]float64 {
+		m := make(map[[4]string]float64)
+		for _, r := range doc.Rows {
+			m[[4]string{r.Name, r.Workload, fmt.Sprint(r.Size), r.Mode}] = r.NsPerOp
+		}
+		return m
+	}
+	bi, ci := index(base), index(cur)
+
+	var violations []string
+	seen := map[[3]string]bool{}
+	for _, r := range base.Rows {
+		pair, gated := speedupPairs[r.Name]
+		group := [3]string{r.Name, r.Workload, fmt.Sprint(r.Size)}
+		if !gated || seen[group] {
+			continue
+		}
+		seen[group] = true
+		fastKey := [4]string{r.Name, r.Workload, group[2], pair[0]}
+		slowKey := [4]string{r.Name, r.Workload, group[2], pair[1]}
+		bFast, bSlow := bi[fastKey], bi[slowKey]
+		cFast, cSlow := ci[fastKey], ci[slowKey]
+		if bFast <= 0 || bSlow <= 0 || cFast <= 0 || cSlow <= 0 {
+			continue // row retired or renamed; not a regression
+		}
+		baseRatio, curRatio := bSlow/bFast, cSlow/cFast
+		// Floor: a quarter of the recorded speedup, never below break-
+		// even (the warm cache keeps a higher absolute floor of 5x).
+		floor := baseRatio * 0.25
+		if r.Name == "cached_query" {
+			floor = baseRatio * 0.05
+			if floor < 5 {
+				floor = 5
+			}
+		}
+		if floor < 1 {
+			floor = 1
+		}
+		if curRatio < floor {
+			violations = append(violations, fmt.Sprintf(
+				"%s %s n=%s: %s/%s speedup %.2fx below floor %.2fx (baseline %.2fx)",
+				r.Name, r.Workload, group[2], pair[1], pair[0], curRatio, floor, baseRatio))
+		}
+	}
+
+	// Prepared evaluation must show zero parse cost: never slower than
+	// the parse-per-call path beyond noise.
+	prep := ci[[4]string{"prepared_query", "overlap_chain", "12", "prepared"}]
+	unprep := ci[[4]string{"prepared_query", "overlap_chain", "12", "unprepared"}]
+	if prep <= 0 || unprep <= 0 {
+		violations = append(violations, "prepared_query rows missing from current run")
+	} else if prep > unprep*1.15 {
+		violations = append(violations, fmt.Sprintf(
+			"prepared_query: prepared %.0f ns/op slower than unprepared %.0f ns/op", prep, unprep))
+	}
+
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "benchtab: REGRESSION:", v)
+		}
+		os.Exit(1)
+	}
+	fmt.Printf("bench gate: all speedup ratios within tolerance of %s\n", baselinePath)
 }

@@ -9,7 +9,13 @@
 // vs cold cached queries) and, with -json, emits it machine-readably —
 // the format committed as BENCH_pr2.json:
 //
-//	benchtab -json bench > BENCH_pr2.json
+//	benchtab -json bench > BENCH_pr3.json
+//
+// With -compare FILE the bench artifact reruns the baseline and gates
+// every recorded speedup ratio against the committed document (used by
+// CI to track the bench trajectory across PRs):
+//
+//	benchtab -compare BENCH_pr2.json bench
 package main
 
 import (
@@ -27,7 +33,10 @@ import (
 	"topodb/internal/xform"
 )
 
-var jsonOut = flag.Bool("json", false, "emit the bench artifact as JSON")
+var (
+	jsonOut = flag.Bool("json", false, "emit the bench artifact as JSON")
+	compare = flag.String("compare", "", "gate the bench artifact against this committed BENCH_prN.json")
+)
 
 var sections map[string]func()
 
@@ -57,6 +66,10 @@ func main() {
 		if !ok {
 			fmt.Fprintf(os.Stderr, "benchtab: unknown artifact %q\n", a)
 			os.Exit(1)
+		}
+		if a == "bench" && *compare != "" {
+			compareBench(*compare)
+			continue
 		}
 		if a == "bench" && *jsonOut {
 			f() // JSON mode prints the document alone, no banner

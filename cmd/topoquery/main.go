@@ -6,18 +6,32 @@
 //	topoquery -in instance.json -q "some cell r: subset(r, A) and subset(r, B)" [-refine k]
 //	topoquery -fixture fig1c -q "overlap(A, B)"
 //	topoquery -fixture fig1c -batch -q "overlap(A, B)" -q "meet(A, B)" -q "disjoint(A, B)"
+//	topoquery -fixture fig1c -select -q "some cell r: subset(r, A) and subset(r, B)"
+//	topoquery -fixture fig1c -timeout 2s -q "some region r: overlap(r, A) and overlap(r, B)"
 //
-// -q may be repeated. With -batch (or more than one -q) the queries are
-// served through the instance's batched engine: the arrangement and query
-// universe are built once, cached, and shared, and the queries are
-// evaluated concurrently on a bounded worker pool.
+// -q may be repeated. Every query is prepared once (parse + analysis) and
+// evaluated against one snapshot of the instance, so the arrangement and
+// query universe are built once, cached, and shared. With -batch (or more
+// than one -q) the queries are evaluated concurrently on a bounded worker
+// pool; a failing query no longer suppresses its siblings' verdicts.
+//
+// -select prints the witness bindings of each query's outermost
+// quantifier (region names or cell ids) instead of a verdict. -timeout
+// bounds the whole evaluation through context cancellation.
+//
+// Exit codes map the typed error classes:
+//
+//	0 success, 2 parse error, 3 unknown region, 4 timeout/canceled,
+//	5 instance too large, 1 anything else
 //
 // The JSON format is {"regions":[{"name":"A","ring":[["0","0"],["4","0"],...]}]}
 // with exact rational coordinates as strings.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -39,7 +53,9 @@ func main() {
 		inFile  = flag.String("in", "", "instance JSON file")
 		fixture = flag.String("fixture", "", "built-in fixture: fig1a, fig1b, fig1c, fig1d, O")
 		refine  = flag.Int("refine", 0, "scaffold grid refinement (k x k)")
-		batch   = flag.Bool("batch", false, "serve all -q queries through the batched cached engine")
+		batch   = flag.Bool("batch", false, "serve all -q queries through the batched engine")
+		sel     = flag.Bool("select", false, "print witness bindings of the outer quantifier instead of a verdict")
+		timeout = flag.Duration("timeout", 0, "abort evaluation after this duration (0 = no limit)")
 		queries queryList
 	)
 	flag.Var(&queries, "q", "query in the region-based language (repeatable)")
@@ -51,22 +67,75 @@ func main() {
 	if len(queries) == 0 {
 		fatal(fmt.Errorf("missing -q query"))
 	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	db := topodb.Wrap(in)
-	if *batch || len(queries) > 1 {
-		results, err := db.QueryBatchRefined(queries, *refine)
-		if err != nil {
+	// One snapshot serves every evaluation: a single consistent state,
+	// one shared cached universe.
+	snap := db.Snapshot()
+
+	switch {
+	case *sel:
+		// Each query is prepared and enumerated independently; a bad
+		// query reports its error and exit code without suppressing
+		// the others' bindings.
+		code := 0
+		for i, q := range queries {
+			pq, err := db.Prepare(q)
+			if err == nil {
+				var res *topodb.Result
+				res, err = pq.SelectOn(ctx, snap, *refine)
+				if err == nil {
+					if res.Sort == "name" {
+						fmt.Printf("%s=%v\t%s\n", res.Var, res.Names, q)
+					} else {
+						fmt.Printf("%s=%v\t%s\n", res.Var, res.Cells, q)
+					}
+					continue
+				}
+			}
+			fmt.Fprintf(os.Stderr, "topoquery: query %d: %v\n", i, err)
+			code = max(code, exitCode(err))
+		}
+		os.Exit(code)
+	case *batch || len(queries) > 1:
+		results, err := snap.QueryBatchRefined(ctx, queries, *refine)
+		code := 0
+		failed := map[int]error{}
+		var be *topodb.BatchError
+		if errors.As(err, &be) {
+			for _, qe := range be.Errs {
+				failed[qe.Index] = qe.Err
+				code = max(code, exitCode(qe))
+			}
+		} else if err != nil {
 			fatal(err)
 		}
 		for i, q := range queries {
+			if qerr, bad := failed[i]; bad {
+				fmt.Printf("error\t%s\t(%v)\n", q, qerr)
+				continue
+			}
 			fmt.Printf("%v\t%s\n", results[i], q)
 		}
-		return
+		os.Exit(code)
+	default:
+		pq, err := db.Prepare(queries[0])
+		if err != nil {
+			fatal(err)
+		}
+		ok, err := pq.EvalOn(ctx, snap, *refine)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%v\n", ok)
 	}
-	ok, err := db.QueryRefined(queries[0], *refine)
-	if err != nil {
-		fatal(err)
-	}
-	fmt.Printf("%v\n", ok)
 }
 
 func loadInstance(file, fixture string) (*spatial.Instance, error) {
@@ -99,7 +168,26 @@ func loadInstance(file, fixture string) (*spatial.Instance, error) {
 	return &in, nil
 }
 
+// exitCode maps the typed error classes to distinct exit codes so shell
+// callers can branch without scraping stderr.
+func exitCode(err error) int {
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, topodb.ErrParse), errors.Is(err, topodb.ErrNotSelectable):
+		return 2
+	case errors.Is(err, topodb.ErrNoRegion):
+		return 3
+	case errors.Is(err, topodb.ErrCanceled):
+		return 4
+	case errors.Is(err, topodb.ErrTooManyRegions):
+		return 5
+	default:
+		return 1
+	}
+}
+
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "topoquery:", err)
-	os.Exit(1)
+	os.Exit(exitCode(err))
 }

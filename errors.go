@@ -1,0 +1,78 @@
+package topodb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"topodb/internal/arrange"
+	"topodb/internal/folang"
+)
+
+// Typed sentinel errors. Every error the public API returns matches at
+// most one of these under errors.Is, so callers branch on error class —
+// retry on ErrCanceled, reject the query on ErrParse, 404 on ErrNoRegion
+// — instead of scraping message strings.
+var (
+	// ErrParse marks a malformed query (Prepare, Query, QueryBatch).
+	// Use errors.As with *ParseError for the diagnostic; the sentinel
+	// alone classifies.
+	ErrParse = folang.ErrParse
+
+	// ErrNoRegion marks a reference to a region name the instance (or
+	// the pinned snapshot) does not contain.
+	ErrNoRegion = folang.ErrNoRegion
+
+	// ErrTooManyRegions marks an instance beyond the arrangement's
+	// owner-set capacity (arrange.MaxRegions, currently 256).
+	ErrTooManyRegions = arrange.ErrTooManyRegions
+
+	// ErrCanceled marks an evaluation stopped by its context, whether
+	// canceled or past its deadline. The context's own error stays in
+	// the chain: errors.Is(err, context.DeadlineExceeded) still
+	// distinguishes timeouts.
+	ErrCanceled = errors.New("topodb: canceled")
+
+	// ErrNotSelectable marks a Select on a query whose outermost node
+	// is not a name- or cell-sorted quantifier — only those two sorts
+	// have a finite binding domain to enumerate.
+	ErrNotSelectable = folang.ErrNotSelectable
+)
+
+// ParseError is a query syntax error carrying the offending source and a
+// parser diagnostic; it matches ErrParse under errors.Is.
+type ParseError = folang.ParseError
+
+// BatchError is the aggregate error of a query batch: one QueryError per
+// failed query, ordered by position, returned alongside the verdicts of
+// the queries that succeeded.
+type BatchError = folang.BatchError
+
+// QueryError locates one failed query of a batch by position.
+type QueryError = folang.QueryError
+
+// canceledError brands a context error as ErrCanceled while keeping the
+// original cause (context.Canceled or context.DeadlineExceeded)
+// reachable through Unwrap.
+type canceledError struct{ cause error }
+
+func (e *canceledError) Error() string        { return "topodb: canceled: " + e.cause.Error() }
+func (e *canceledError) Is(target error) bool { return target == ErrCanceled }
+func (e *canceledError) Unwrap() error        { return e.cause }
+
+// wrapCanceled brands context cancellation at the API boundary; every
+// other error passes through untouched.
+func wrapCanceled(err error) error {
+	if err == nil {
+		return nil
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return &canceledError{cause: err}
+	}
+	return err
+}
+
+// noRegion builds the typed error for a missing region name.
+func noRegion(name string) error {
+	return fmt.Errorf("topodb: no region %q: %w", name, ErrNoRegion)
+}

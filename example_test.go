@@ -1,0 +1,111 @@
+package topodb_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"topodb"
+)
+
+// Prepare parses a query once; the prepared form re-evaluates across
+// mutations with zero parse cost.
+func ExampleInstance_Prepare() {
+	db := topodb.NewInstance()
+	db.AddRect("A", 0, 0, 4, 4)
+	db.AddRect("B", 2, 2, 6, 6)
+
+	pq, _ := db.Prepare("some cell r: subset(r, A) and subset(r, B)")
+	ok, _ := pq.Eval(context.Background())
+	fmt.Println("overlapping:", ok)
+
+	db.AddRect("B", 100, 100, 104, 104) // move B away
+	ok, _ = pq.Eval(context.Background())
+	fmt.Println("after move:", ok)
+	// Output:
+	// overlapping: true
+	// after move: false
+}
+
+// Snapshot pins one consistent state: reads on the snapshot ignore later
+// writes, and never block them.
+func ExampleInstance_Snapshot() {
+	db := topodb.NewInstance()
+	db.AddRect("A", 0, 0, 4, 4)
+	db.AddRect("B", 2, 2, 6, 6)
+
+	snap := db.Snapshot()
+	db.AddRect("C", 10, 10, 14, 14) // not visible to snap
+
+	fmt.Println("snapshot:", snap.Names())
+	fmt.Println("instance:", db.Names())
+	// Output:
+	// snapshot: [A B]
+	// instance: [A B C]
+}
+
+// Select returns witness bindings instead of a bare verdict: here, the
+// names of the regions inside the lake.
+func ExamplePreparedQuery_Select() {
+	db := topodb.NewInstance()
+	db.Apply(func(tx *topodb.Txn) error {
+		tx.AddRect("Lake", 0, 0, 10, 8)
+		tx.AddRect("Island", 3, 3, 5, 5)
+		tx.AddRect("Harbor", 8, 2, 14, 6)
+		return nil
+	})
+
+	pq, _ := db.Prepare("some name x: inside(x, Lake)")
+	res, _ := pq.Select(context.Background())
+	fmt.Printf("%s = %v\n", res.Var, res.Names)
+	// Output:
+	// x = [Island]
+}
+
+// Apply stages a batch of mutations and commits them atomically under
+// one lock acquisition; a callback error rolls the whole batch back.
+func ExampleInstance_Apply() {
+	db := topodb.NewInstance()
+	err := db.Apply(func(tx *topodb.Txn) error {
+		tx.AddRect("A", 0, 0, 4, 4)
+		tx.AddRect("B", 2, 2, 6, 6)
+		return nil
+	})
+	fmt.Println("commit:", err)
+
+	err = db.Apply(func(tx *topodb.Txn) error {
+		tx.AddRect("C", 10, 10, 14, 14)
+		return errors.New("changed my mind")
+	})
+	fmt.Println("rollback:", err)
+	fmt.Println("regions:", db.Names())
+	// Output:
+	// commit: <nil>
+	// rollback: changed my mind
+	// regions: [A B]
+}
+
+// Errors are typed: branch with errors.Is instead of matching message
+// strings.
+func ExampleInstance_Prepare_typedErrors() {
+	db := topodb.NewInstance()
+	db.AddRect("A", 0, 0, 4, 4)
+
+	_, err := db.Prepare("some cell r subset(r, A)") // missing colon
+	fmt.Println("parse error:", errors.Is(err, topodb.ErrParse))
+
+	pq, _ := db.Prepare("overlap(A, Ghost)")
+	_, err = pq.Eval(context.Background())
+	fmt.Println("missing region:", errors.Is(err, topodb.ErrNoRegion))
+
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	time.Sleep(time.Microsecond)
+	_, err = db.Snapshot().Query(ctx, "some cell r: subset(r, A)")
+	fmt.Println("timeout:", errors.Is(err, topodb.ErrCanceled))
+	// Output:
+	// parse error: true
+	// missing region: true
+	// timeout: true
+}

@@ -1,8 +1,10 @@
 // Quickstart: build a small spatial database, classify region relations,
-// compute the topological invariant, and run region-based queries.
+// compute the topological invariant, and run region-based queries through
+// the serving API (Apply, Snapshot, Prepare, Select).
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -11,10 +13,15 @@ import (
 
 func main() {
 	db := topodb.NewInstance()
-	must(db.AddRect("Lake", 0, 0, 10, 8))
-	must(db.AddRect("Island", 3, 3, 5, 5))  // inside the lake
-	must(db.AddRect("Harbor", 8, 2, 14, 6)) // overlaps the lake shore
-	must(db.AddCircle("Buoy", 2, 2, 1, 12)) // a disc inside the lake
+	// One Apply commits the whole scene atomically under a single lock
+	// acquisition.
+	must(db.Apply(func(tx *topodb.Txn) error {
+		tx.AddRect("Lake", 0, 0, 10, 8)
+		tx.AddRect("Island", 3, 3, 5, 5)  // inside the lake
+		tx.AddRect("Harbor", 8, 2, 14, 6) // overlaps the lake shore
+		tx.AddCircle("Buoy", 2, 2, 1, 12) // a disc inside the lake
+		return nil
+	}))
 
 	// 4-intersection relations (Egenhofer).
 	for _, pair := range [][2]string{{"Island", "Lake"}, {"Harbor", "Lake"}, {"Buoy", "Island"}} {
@@ -31,19 +38,29 @@ func main() {
 		v, e, f, inv.Connected())
 
 	// Region-based queries (the paper's FO(Region, Region') language),
-	// served as one batch: the cached universe is built once and the
-	// queries are evaluated concurrently.
+	// served as one batch on a pinned snapshot: the cached universe is
+	// built once and the queries are evaluated concurrently. A failing
+	// query would report its position without discarding the others.
 	queries := []string{
 		"inside(Island, Lake)",
 		"some cell r: subset(r, Lake) and subset(r, Harbor)",
 		"all name a: connect(a, a)",
 		"some name a: some name b: (not a = b) and inside(a, b)",
 	}
-	results, err := db.QueryBatch(queries)
+	snap := db.Snapshot()
+	results, err := snap.QueryBatch(context.Background(), queries)
 	must(err)
 	for i, q := range queries {
 		fmt.Printf("%-55s -> %v\n", q, results[i])
 	}
+
+	// Prepared queries parse once and re-evaluate on every generation;
+	// Select returns the witnesses, not just a verdict.
+	pq, err := db.Prepare("some name x: inside(x, Lake)")
+	must(err)
+	res, err := pq.Select(context.Background())
+	must(err)
+	fmt.Printf("inside the lake: %v\n", res.Names)
 
 	// Topological equivalence: a stretched copy is homeomorphic.
 	db2 := topodb.NewInstance()

@@ -13,6 +13,7 @@
 package arrange
 
 import (
+	"errors"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -67,6 +68,10 @@ const ownersWords = 4
 // MaxRegions is the largest instance an arrangement supports, bounded by
 // the fixed-width Owners bit set.
 const MaxRegions = 64 * ownersWords
+
+// ErrTooManyRegions marks an instance beyond MaxRegions; Build wraps it,
+// and the public topodb package aliases it for errors.Is.
+var ErrTooManyRegions = errors.New("too many regions")
 
 // Owners is a bit set over region indices (region i owns an edge when the
 // edge lies on i's boundary). It is a fixed-size array so values stay
@@ -211,7 +216,7 @@ func BuildWithScaffold(in *spatial.Instance, scaffold []geom.Seg) (*Arrangement,
 		return nil, fmt.Errorf("arrange: empty instance")
 	}
 	if len(names) > MaxRegions {
-		return nil, fmt.Errorf("arrange: more than %d regions", MaxRegions)
+		return nil, fmt.Errorf("arrange: %w: %d regions exceed the %d-region owner set", ErrTooManyRegions, len(names), MaxRegions)
 	}
 	a := &Arrangement{Names: names, index: make(map[string]int, len(names))}
 	for i, n := range names {

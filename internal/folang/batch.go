@@ -1,42 +1,97 @@
 package folang
 
 import (
-	"fmt"
+	"context"
 
 	"topodb/internal/par"
 )
 
 // EvaluateAll parses and evaluates a batch of closed queries against one
-// shared universe. Parsing is sequential (errors are reported for the
-// first bad query, by input position); evaluation fans out over a bounded
-// worker pool with one Evaluator per query — the Universe is read-only
-// during evaluation, so concurrent evaluators are safe. results[i] is the
-// verdict of srcs[i].
+// shared universe. Every query is attempted: a malformed or failing
+// query no longer aborts its siblings. results[i] is the verdict of
+// srcs[i]; when any query fails, the returned error is a *BatchError
+// listing each failure by position (and results[i] is false for those
+// positions), while the sibling verdicts remain valid.
 func EvaluateAll(u *Universe, srcs []string) ([]bool, error) {
-	fs := make([]Formula, len(srcs))
-	for i, src := range srcs {
-		f, err := Parse(src)
-		if err != nil {
-			return nil, fmt.Errorf("folang: query %d: %w", i, err)
-		}
-		fs[i] = f
-	}
-	return EvalAll(u, fs)
+	return EvaluateAllCtx(context.Background(), u, srcs)
 }
 
-// EvalAll evaluates pre-parsed closed formulas against one shared universe
-// on a bounded worker pool. The first error by input position wins, so the
-// outcome is deterministic regardless of scheduling.
+// EvaluateAllCtx is EvaluateAll under a context. Parsing is sequential
+// (it is cheap and deterministic); evaluation fans out over a bounded
+// worker pool with one Evaluator per query — the Universe is read-only
+// during evaluation, so concurrent evaluators are safe. Once ctx fires,
+// unstarted queries fail with ctx.Err() and running ones stop at their
+// next quantifier binding.
+func EvaluateAllCtx(ctx context.Context, u *Universe, srcs []string) ([]bool, error) {
+	fs := make([]Formula, len(srcs))
+	parseErrs := make([]error, len(srcs))
+	for i, src := range srcs {
+		fs[i], parseErrs[i] = Parse(src)
+	}
+	results, evalErrs := evalAllCtx(ctx, u, fs, parseErrs)
+	return results, collectBatchErrors(srcs, parseErrs, evalErrs)
+}
+
+// EvalAll evaluates pre-parsed closed formulas against one shared
+// universe on a bounded worker pool. Like EvaluateAll it attempts every
+// formula and aggregates failures into a *BatchError ordered by input
+// position, so the outcome is deterministic regardless of scheduling.
 func EvalAll(u *Universe, fs []Formula) ([]bool, error) {
+	return EvalAllCtx(context.Background(), u, fs)
+}
+
+// EvalAllCtx is EvalAll under a context.
+func EvalAllCtx(ctx context.Context, u *Universe, fs []Formula) ([]bool, error) {
+	results, evalErrs := evalAllCtx(ctx, u, fs, nil)
+	return results, collectBatchErrors(nil, nil, evalErrs)
+}
+
+// evalAllCtx runs the fan-out. skip[i] != nil (when skip is non-nil)
+// marks formulas that failed to parse and must not be evaluated.
+func evalAllCtx(ctx context.Context, u *Universe, fs []Formula, skip []error) ([]bool, []error) {
 	results := make([]bool, len(fs))
 	errs := make([]error, len(fs))
-	par.For(len(fs), func(i int) {
-		results[i], errs[i] = NewEvaluator(u).Eval(fs[i])
+	done := make([]bool, len(fs))
+	par.ForCtx(ctx, len(fs), func(i int) {
+		if skip == nil || skip[i] == nil {
+			results[i], errs[i] = NewEvaluator(u).EvalCtx(ctx, fs[i])
+		}
+		done[i] = true
 	})
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("folang: query %d: %w", i, err)
+	// Only iterations the pool never claimed (context fired first) carry
+	// the context error; queries that completed before the context fired
+	// keep their verdicts. done is coherent here: ForCtx waits for every
+	// in-flight worker before returning.
+	if err := ctx.Err(); err != nil {
+		for i := range errs {
+			if !done[i] {
+				errs[i] = err
+			}
 		}
 	}
-	return results, nil
+	return results, errs
+}
+
+// collectBatchErrors merges parse and evaluation failures into one
+// position-ordered *BatchError, or nil when everything succeeded.
+func collectBatchErrors(srcs []string, parseErrs, evalErrs []error) error {
+	var failures []*QueryError
+	for i := range evalErrs {
+		err := evalErrs[i]
+		if parseErrs != nil && parseErrs[i] != nil {
+			err = parseErrs[i]
+		}
+		if err == nil {
+			continue
+		}
+		src := ""
+		if srcs != nil {
+			src = srcs[i]
+		}
+		failures = append(failures, &QueryError{Index: i, Src: src, Err: err})
+	}
+	if len(failures) == 0 {
+		return nil
+	}
+	return &BatchError{Errs: failures}
 }

@@ -1,11 +1,15 @@
 package folang
 
 import (
+	"context"
+	"errors"
 	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"topodb/internal/spatial"
+	"topodb/internal/workload"
 )
 
 func TestEvaluateAllMatchesSequential(t *testing.T) {
@@ -50,6 +54,106 @@ func TestEvaluateAllParseErrorPosition(t *testing.T) {
 	}
 	if want := "query 1"; !strings.Contains(err.Error(), want) {
 		t.Fatalf("error %q does not name the first bad query (%s)", err, want)
+	}
+}
+
+// One malformed query must not discard sibling verdicts: the results
+// slice stays valid for every query that succeeded, and the error lists
+// each failure by position with its typed cause.
+func TestEvaluateAllPartialResults(t *testing.T) {
+	u, err := NewUniverse(spatial.Fig1c(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcs := []string{
+		"overlap(A, B)",      // true
+		"some cell",          // parse error
+		"disjoint(A, B)",     // false
+		"overlap(A, Zed)",    // eval error: unknown region
+		"not disjoint(A, B)", // true
+	}
+	results, err := EvaluateAll(u, srcs)
+	if err == nil {
+		t.Fatal("expected a batch error")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %T is not a *BatchError", err)
+	}
+	if len(be.Errs) != 2 || be.Errs[0].Index != 1 || be.Errs[1].Index != 3 {
+		t.Fatalf("failures = %v, want positions 1 and 3", be.Errs)
+	}
+	if !errors.Is(be.Errs[0], ErrParse) {
+		t.Errorf("failure at 1 (%v) should match ErrParse", be.Errs[0])
+	}
+	if !errors.Is(be.Errs[1], ErrNoRegion) {
+		t.Errorf("failure at 3 (%v) should match ErrNoRegion", be.Errs[1])
+	}
+	// The aggregate matches both sentinels through multi-unwrap.
+	if !errors.Is(err, ErrParse) || !errors.Is(err, ErrNoRegion) {
+		t.Errorf("aggregate %v should match ErrParse and ErrNoRegion", err)
+	}
+	if be.Errs[0].Src != "some cell" {
+		t.Errorf("failure carries src %q", be.Errs[0].Src)
+	}
+	if !results[0] || results[2] || !results[4] {
+		t.Fatalf("sibling verdicts lost: %v", results)
+	}
+}
+
+// A context that fires mid-batch must not clobber the verdicts of
+// queries that already completed: only unclaimed (and mid-evaluation)
+// queries carry the context error.
+func TestEvaluateAllCtxLateCancelKeepsVerdicts(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(1)) // deterministic claim order
+	u, err := NewUniverse(workload.CountyMesh(4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Millisecond)
+	defer cancel()
+	srcs := []string{
+		"connect(Cty_0_0, Cty_0_1)",   // microseconds, true: completes before the timer
+		"all region r: connect(r, r)", // ~70ms enumeration: canceled mid-eval
+		"disjoint(Cty_0_0, Cty_3_3)",  // claimed after cancellation: backfilled
+	}
+	results, err := EvaluateAllCtx(ctx, u, srcs)
+	if err == nil {
+		// The whole batch beat a 5ms timer on a ~70ms workload; the
+		// fixture no longer exercises late cancellation.
+		t.Fatal("expected the deadline to fire mid-batch")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %T is not a *BatchError", err)
+	}
+	for _, qe := range be.Errs {
+		if qe.Index == 0 {
+			t.Fatalf("completed query 0 was reported failed: %v", qe)
+		}
+		if !errors.Is(qe, context.DeadlineExceeded) {
+			t.Errorf("failure %v should carry the context error", qe)
+		}
+	}
+	if !results[0] {
+		t.Fatal("query 0 verdict lost (adjacent mesh cells must connect)")
+	}
+}
+
+func TestEvaluateAllCtxCanceled(t *testing.T) {
+	u, err := NewUniverse(spatial.Fig1c(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = EvaluateAllCtx(ctx, u, []string{"overlap(A, B)", "disjoint(A, B)"})
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled batch: %v", err)
+	}
+	var be *BatchError
+	if !errors.As(err, &be) || len(be.Errs) != 2 {
+		t.Fatalf("canceled batch should fail every query: %v", err)
 	}
 }
 

@@ -1,0 +1,71 @@
+package folang
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors for the query pipeline. The public topodb package
+// aliases these, so errors.Is works across the API boundary without
+// re-wrapping at every call site.
+var (
+	// ErrParse marks any syntax error from Parse. Concrete errors are
+	// *ParseError values carrying the source and a message.
+	ErrParse = errors.New("parse error")
+
+	// ErrNoRegion marks a term that is neither a bound variable nor a
+	// region name of the instance.
+	ErrNoRegion = errors.New("unknown region")
+
+	// ErrNotSelectable marks a Select on a formula whose outermost node
+	// is not a name- or cell-sorted quantifier.
+	ErrNotSelectable = errors.New("formula has no selectable outer quantifier")
+)
+
+// ParseError is a syntax error with the offending source attached.
+type ParseError struct {
+	Src string // the query source that failed to parse
+	Msg string // parser diagnostic
+}
+
+func (e *ParseError) Error() string { return "folang: " + e.Msg }
+
+// Is reports ErrParse, so errors.Is(err, ErrParse) matches every syntax
+// error regardless of its diagnostic.
+func (e *ParseError) Is(target error) bool { return target == ErrParse }
+
+// QueryError locates one failed query inside a batch by input position.
+type QueryError struct {
+	Index int    // position in the batch
+	Src   string // the query source
+	Err   error  // the parse or evaluation failure
+}
+
+func (e *QueryError) Error() string {
+	return fmt.Sprintf("folang: query %d: %v", e.Index, e.Err)
+}
+
+func (e *QueryError) Unwrap() error { return e.Err }
+
+// BatchError aggregates every per-query failure of a batch. The batch
+// results for the queries that did succeed are still returned alongside
+// it, so one malformed query no longer discards sibling verdicts.
+type BatchError struct {
+	Errs []*QueryError // ordered by query position
+}
+
+func (e *BatchError) Error() string {
+	if len(e.Errs) == 1 {
+		return e.Errs[0].Error()
+	}
+	return fmt.Sprintf("%v (and %d more)", e.Errs[0], len(e.Errs)-1)
+}
+
+// Unwrap exposes the per-query errors to errors.Is/As.
+func (e *BatchError) Unwrap() []error {
+	out := make([]error, len(e.Errs))
+	for i, qe := range e.Errs {
+		out[i] = qe
+	}
+	return out
+}

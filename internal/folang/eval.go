@@ -1,6 +1,7 @@
 package folang
 
 import (
+	"context"
 	"fmt"
 
 	"topodb/internal/fourint"
@@ -45,6 +46,7 @@ func (v value) boundary() Bits {
 type Evaluator struct {
 	U          *Universe
 	Opts       Options
+	ctx        context.Context // nil: never canceled
 	regionVals map[string]value
 	faceVals   []value // lazily cached single-face cell values
 }
@@ -68,6 +70,28 @@ func NewEvaluator(u *Universe) *Evaluator {
 // Eval evaluates a closed formula.
 func (ev *Evaluator) Eval(f Formula) (bool, error) {
 	return ev.eval(f, map[string]value{})
+}
+
+// EvalCtx evaluates a closed formula under a context. Cancellation is
+// cooperative: the quantifier loops test the context once per candidate
+// binding (bindings dominate evaluation cost, so the check is cheap
+// relative to the work it bounds) and return ctx.Err() when it fires.
+func (ev *Evaluator) EvalCtx(ctx context.Context, f Formula) (bool, error) {
+	if err := ctx.Err(); err != nil {
+		return false, err
+	}
+	prev := ev.ctx
+	ev.ctx = ctx
+	defer func() { ev.ctx = prev }()
+	return ev.eval(f, map[string]value{})
+}
+
+// canceled returns the evaluator context's error, if any.
+func (ev *Evaluator) canceled() error {
+	if ev.ctx == nil {
+		return nil
+	}
+	return ev.ctx.Err()
 }
 
 // EvalQuery parses and evaluates a query string.
@@ -94,7 +118,7 @@ func (ev *Evaluator) resolve(t Term, env map[string]value) (value, error) {
 		}
 		return v, nil
 	}
-	return value{}, fmt.Errorf("folang: %q is neither a bound variable nor a region name", t.Name)
+	return value{}, fmt.Errorf("folang: %q is neither a bound variable nor a region name: %w", t.Name, ErrNoRegion)
 }
 
 // coerce turns a name value into the extent of that name.
@@ -177,6 +201,9 @@ func (ev *Evaluator) eval(f Formula, env map[string]value) (bool, error) {
 
 func (ev *Evaluator) quant(q Quant, env map[string]value) (bool, error) {
 	test := func(v value) (bool, bool, error) { // (decided, result, err)
+		if err := ev.canceled(); err != nil {
+			return true, false, err
+		}
 		env[q.Var] = v
 		ok, err := ev.eval(q.F, env)
 		delete(env, q.Var)

@@ -18,14 +18,16 @@ import (
 //	term     := IDENT
 //
 // Example: some cell r: (subset(r, A) and subset(r, B)) and subset(r, C)
+//
+// Every syntax error is a *ParseError (errors.Is(err, ErrParse)).
 func Parse(src string) (Formula, error) {
 	p := &parser{toks: lex(src)}
 	f, err := p.formula()
-	if err != nil {
-		return nil, err
+	if err == nil && !p.eof() {
+		err = fmt.Errorf("folang: unexpected %q after formula", p.peek())
 	}
-	if !p.eof() {
-		return nil, fmt.Errorf("folang: unexpected %q after formula", p.peek())
+	if err != nil {
+		return nil, &ParseError{Src: src, Msg: strings.TrimPrefix(err.Error(), "folang: ")}
 	}
 	return f, nil
 }

@@ -1,0 +1,223 @@
+package folang
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"topodb/internal/spatial"
+)
+
+func TestParseErrorTyped(t *testing.T) {
+	for _, src := range []string{"", "some cell", "overlap(A,", "not", "badpred(A, B)", "overlap(A, B) trailing"} {
+		_, err := Parse(src)
+		if err == nil {
+			t.Fatalf("Parse(%q) succeeded", src)
+		}
+		if !errors.Is(err, ErrParse) {
+			t.Errorf("Parse(%q): %v does not match ErrParse", src, err)
+		}
+		var pe *ParseError
+		if !errors.As(err, &pe) || pe.Src != src {
+			t.Errorf("Parse(%q): error %v does not carry the source", src, err)
+		}
+	}
+	if _, err := Parse("overlap(A, B)"); err != nil {
+		t.Fatalf("valid query rejected: %v", err)
+	}
+}
+
+func TestAnalyzeFreeNames(t *testing.T) {
+	cases := []struct {
+		src   string
+		free  []string
+		quant int
+		outer bool
+	}{
+		{"overlap(A, B)", []string{"A", "B"}, 0, false},
+		{"some cell r: subset(r, A) and subset(r, B)", []string{"A", "B"}, 1, true},
+		{"all name a: connect(a, a)", nil, 1, true},
+		{"some name a: some name b: (not a = b) and inside(a, b)", nil, 2, true},
+		{"some cell r: subset(r, A) implies (all cell s: connect(s, r) or subset(s, B))", []string{"A", "B"}, 2, true},
+		// Shadowing: the outer r is bound; the atom's A is free.
+		{"some cell r: some cell r: subset(r, A)", []string{"A"}, 2, true},
+	}
+	for _, c := range cases {
+		f := MustParse(c.src)
+		info := Analyze(f)
+		if !reflect.DeepEqual(info.FreeNames, c.free) {
+			t.Errorf("%q: free names %v, want %v", c.src, info.FreeNames, c.free)
+		}
+		if info.Quantifiers != c.quant {
+			t.Errorf("%q: %d quantifiers, want %d", c.src, info.Quantifiers, c.quant)
+		}
+		if (info.Outer != nil) != c.outer {
+			t.Errorf("%q: outer = %v, want present=%v", c.src, info.Outer, c.outer)
+		}
+	}
+}
+
+func TestAnalyzeMissingNames(t *testing.T) {
+	u, err := NewUniverse(spatial.Fig1c(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := Analyze(MustParse("overlap(A, Zed) or overlap(B, Qux)"))
+	missing := info.MissingNames(u)
+	if !reflect.DeepEqual(missing, []string{"Qux", "Zed"}) {
+		t.Fatalf("missing = %v, want [Qux Zed]", missing)
+	}
+	if got := Analyze(MustParse("overlap(A, B)")).MissingNames(u); got != nil {
+		t.Fatalf("missing = %v for resolvable query", got)
+	}
+}
+
+func TestEvalUnknownRegionTyped(t *testing.T) {
+	u, err := NewUniverse(spatial.Fig1c(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = NewEvaluator(u).EvalQuery("overlap(A, Zed)")
+	if !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("unknown region error %v does not match ErrNoRegion", err)
+	}
+}
+
+func TestEvalCtxCancellation(t *testing.T) {
+	u, err := NewUniverse(spatial.Fig1c(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	// The region quantifier walks many candidate face sets: cancellation
+	// must interrupt it on the first binding.
+	f := MustParse("some region r: overlap(r, A) and overlap(r, B)")
+	if _, err := NewEvaluator(u).EvalCtx(ctx, f); !errors.Is(err, context.Canceled) {
+		t.Fatalf("EvalCtx on canceled ctx: %v, want context.Canceled", err)
+	}
+	// A live context evaluates normally and agrees with the ctx-less path.
+	want, err := NewEvaluator(u).Eval(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := NewEvaluator(u).EvalCtx(context.Background(), f)
+	if err != nil || got != want {
+		t.Fatalf("EvalCtx = %v, %v; Eval = %v", got, err, want)
+	}
+}
+
+func TestEvalCtxDeadline(t *testing.T) {
+	u, err := NewUniverse(spatial.Fig1c(), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	f := MustParse("some region r: overlap(r, A) and overlap(r, B)")
+	if _, err := NewEvaluator(u).EvalCtx(ctx, f); !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("expired deadline: %v, want context.DeadlineExceeded", err)
+	}
+}
+
+func TestSelectNames(t *testing.T) {
+	// Fig1c: A and B overlap.
+	u, err := NewUniverse(spatial.Fig1c(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel, err := NewEvaluator(u).Select(context.Background(), MustParse("some name x: overlap(x, A)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Sort != SortName || sel.Var != "x" {
+		t.Fatalf("selection header = %v/%q", sel.Sort, sel.Var)
+	}
+	if !reflect.DeepEqual(sel.Names, []string{"B"}) {
+		t.Fatalf("overlap(x, A) witnesses = %v, want [B]", sel.Names)
+	}
+	// Reflexive connect holds for every name.
+	sel, err = NewEvaluator(u).Select(context.Background(), MustParse("all name x: connect(x, x)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sel.Names) != len(u.A.Names) {
+		t.Fatalf("connect(x, x) holds for %v, want all of %v", sel.Names, u.A.Names)
+	}
+}
+
+func TestSelectCellsMatchQuantifier(t *testing.T) {
+	u, err := NewUniverse(spatial.Fig1c(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := "subset(r, A) and subset(r, B)"
+	sel, err := NewEvaluator(u).Select(context.Background(), MustParse("some cell r: "+body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Sort != SortCell {
+		t.Fatalf("sort = %v", sel.Sort)
+	}
+	// Cross-check every reported cell against a direct evaluation, and
+	// the count against the some/all verdicts.
+	ev := NewEvaluator(u)
+	count := 0
+	for fi := 0; fi < u.NumFaces(); fi++ {
+		v := ev.faceValue(fi)
+		ok := v.set.SubsetOf(u.Region("A")) && v.set.SubsetOf(u.Region("B"))
+		if ok {
+			count++
+		}
+		reported := false
+		for _, c := range sel.Cells {
+			if c == fi {
+				reported = true
+			}
+		}
+		if ok != reported {
+			t.Errorf("cell %d: holds=%v reported=%v", fi, ok, reported)
+		}
+	}
+	if count != len(sel.Cells) || count == 0 {
+		t.Fatalf("select returned %d cells, direct scan %d", len(sel.Cells), count)
+	}
+	someVerdict, err := NewEvaluator(u).EvalQuery("some cell r: " + body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if someVerdict != (len(sel.Cells) > 0) {
+		t.Fatalf("some verdict %v inconsistent with %d witnesses", someVerdict, len(sel.Cells))
+	}
+}
+
+func TestSelectNotSelectable(t *testing.T) {
+	u, err := NewUniverse(spatial.Fig1c(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []string{
+		"overlap(A, B)", // quantifier-free
+		"some region r: overlap(r, A) and overlap(r, B)", // infinite-ish domain
+	} {
+		_, err := NewEvaluator(u).Select(context.Background(), MustParse(src))
+		if !errors.Is(err, ErrNotSelectable) {
+			t.Errorf("Select(%q): %v, want ErrNotSelectable", src, err)
+		}
+	}
+}
+
+func TestSelectCanceled(t *testing.T) {
+	u, err := NewUniverse(spatial.Fig1c(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = NewEvaluator(u).Select(ctx, MustParse("some cell r: subset(r, A)"))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled Select: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+package folang
+
+import (
+	"context"
+	"fmt"
+)
+
+// Selection holds the satisfying bindings of a formula's outermost
+// quantifier: the bindings of the quantified variable under which the
+// body evaluates to true. Exactly one of the column slices is non-nil,
+// matching the variable's sort.
+type Selection struct {
+	Var  string // the quantified variable
+	Sort Sort   // SortName or SortCell
+
+	// Names: the satisfying region names (Sort == SortName), in the
+	// instance's sorted name order.
+	Names []string
+	// Cells: the satisfying 2-cells as face indices of the universe's
+	// arrangement (Sort == SortCell), ascending. The exterior face can
+	// appear: the cell quantifier ranges over it too.
+	Cells []int
+}
+
+// Len returns the number of satisfying bindings.
+func (s *Selection) Len() int { return len(s.Names) + len(s.Cells) }
+
+// Select enumerates the satisfying bindings of the outermost quantifier
+// of f. The formula must be a quantifier over the name or cell sort —
+// the two sorts with a finite, directly reportable domain; anything else
+// (a quantifier-free formula, or a region-sorted quantifier, whose
+// domain of disc regions is exponential) fails with ErrNotSelectable.
+//
+// Unlike Eval, Select never stops at the first witness: it always scans
+// the whole domain. The quantifier kind (some/all) does not change the
+// enumeration — for "some" the bindings are the witnesses, for "all"
+// the complement of the returned set is the counterexample list.
+func (ev *Evaluator) Select(ctx context.Context, f Formula) (*Selection, error) {
+	q, ok := f.(Quant)
+	if !ok {
+		return nil, fmt.Errorf("folang: %w: outermost node is %T", ErrNotSelectable, f)
+	}
+	if q.Sort == SortRegion {
+		return nil, fmt.Errorf("folang: %w: region-sorted quantifier has no finite binding domain", ErrNotSelectable)
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	prev := ev.ctx
+	ev.ctx = ctx
+	defer func() { ev.ctx = prev }()
+
+	sel := &Selection{Var: q.Var, Sort: q.Sort}
+	env := map[string]value{}
+	holds := func(v value) (bool, error) {
+		if err := ev.canceled(); err != nil {
+			return false, err
+		}
+		env[q.Var] = v
+		ok, err := ev.eval(q.F, env)
+		delete(env, q.Var)
+		return ok, err
+	}
+	switch q.Sort {
+	case SortName:
+		sel.Names = []string{}
+		for _, n := range ev.U.A.Names {
+			ok, err := holds(value{isName: true, name: n})
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				sel.Names = append(sel.Names, n)
+			}
+		}
+	case SortCell:
+		sel.Cells = []int{}
+		for fi := 0; fi < ev.U.nf; fi++ {
+			ok, err := holds(ev.faceValue(fi))
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				sel.Cells = append(sel.Cells, fi)
+			}
+		}
+	}
+	return sel, nil
+}

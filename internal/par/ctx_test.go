@@ -1,0 +1,66 @@
+package par
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCtxRunsAll(t *testing.T) {
+	for _, procs := range []int{1, 4} {
+		old := runtime.GOMAXPROCS(procs)
+		var ran [100]int32
+		err := ForCtx(context.Background(), len(ran), func(i int) {
+			atomic.AddInt32(&ran[i], 1)
+		})
+		runtime.GOMAXPROCS(old)
+		if err != nil {
+			t.Fatalf("procs=%d: %v", procs, err)
+		}
+		for i, n := range ran {
+			if n != 1 {
+				t.Fatalf("procs=%d: iteration %d ran %d times", procs, i, n)
+			}
+		}
+	}
+}
+
+func TestForCtxCanceledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int32
+	err := ForCtx(ctx, 1000, func(i int) { atomic.AddInt32(&ran, 1) })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	// Workers check the context before claiming; a pre-canceled context
+	// lets at most a handful of already-started claims through.
+	if n := atomic.LoadInt32(&ran); n > int32(Workers()) {
+		t.Fatalf("%d iterations ran on a canceled context", n)
+	}
+}
+
+func TestForCtxCancelMidway(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran int32
+	err := ForCtx(ctx, 1_000_000, func(i int) {
+		if atomic.AddInt32(&ran, 1) == 10 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := atomic.LoadInt32(&ran); n >= 1_000_000 {
+		t.Fatalf("cancellation did not stop the loop (ran %d)", n)
+	}
+}
+
+func TestForCtxEmpty(t *testing.T) {
+	if err := ForCtx(context.Background(), 0, func(int) { t.Fatal("called") }); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -9,6 +9,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -38,6 +39,45 @@ func Shards(n int) int {
 // only one worker is available the loop runs sequentially in order.
 func For(n int, fn func(i int)) {
 	ForShard(Shards(n), n, func(_, i int) { fn(i) })
+}
+
+// ForCtx is For with cooperative cancellation: once ctx is done no new
+// iterations are claimed (in-flight calls of fn finish normally — fn
+// stays responsible for its own internal cancellation checks) and the
+// context error is returned. The caller cannot assume fn ran for every
+// index; unclaimed indices are simply skipped. A nil error means every
+// iteration ran.
+func ForCtx(ctx context.Context, n int, fn func(i int)) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	shards := Shards(n)
+	if shards <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			fn(i)
+		}
+		return ctx.Err()
+	}
+	var next int64
+	var wg sync.WaitGroup
+	wg.Add(shards)
+	for w := 0; w < shards; w++ {
+		go func() {
+			defer wg.Done()
+			for ctx.Err() == nil {
+				i := int(atomic.AddInt64(&next, 1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return ctx.Err()
 }
 
 // ForShard is For with the executing worker's shard index (in [0, shards))

@@ -1,0 +1,106 @@
+package topodb
+
+import (
+	"context"
+
+	"topodb/internal/folang"
+)
+
+// PreparedQuery is a query parsed and analyzed once, re-evaluable many
+// times — the library's analogue of a database driver's prepared
+// statement, mirroring the paper's split between the one-off expensive
+// step (here: parsing plus free-variable analysis; for the instance: the
+// invariant build) and cheap repeated evaluation.
+//
+// A PreparedQuery is immutable and safe for concurrent use. It is not
+// pinned to a generation: each Eval/Select call takes a fresh snapshot of
+// the instance, so the same prepared query tracks mutations across
+// generations and refinement levels while never re-parsing. To evaluate
+// against a pinned state instead, pass an explicit snapshot to EvalOn or
+// SelectOn.
+type PreparedQuery struct {
+	db   *Instance
+	src  string
+	f    folang.Formula
+	info *folang.QueryInfo
+}
+
+// Prepare parses and analyzes a query in the region-based language (see
+// Instance.Query for the grammar). Malformed queries fail now, with
+// ErrParse, rather than at every evaluation; a valid result never incurs
+// parse cost again.
+func (db *Instance) Prepare(src string) (*PreparedQuery, error) {
+	f, err := folang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return &PreparedQuery{db: db, src: src, f: f, info: folang.Analyze(f)}, nil
+}
+
+// Source returns the original query text.
+func (pq *PreparedQuery) Source() string { return pq.src }
+
+// FreeNames returns the region names the query references (its free
+// identifiers), sorted. Evaluation fails with ErrNoRegion while any of
+// them is absent from the instance.
+func (pq *PreparedQuery) FreeNames() []string {
+	return append([]string(nil), pq.info.FreeNames...)
+}
+
+// Eval evaluates the prepared query on a fresh snapshot of the instance,
+// honoring ctx during evaluation (ErrCanceled once it fires).
+func (pq *PreparedQuery) Eval(ctx context.Context) (bool, error) {
+	return pq.EvalRefined(ctx, 0)
+}
+
+// EvalRefined is Eval on the k×k-refined universe.
+func (pq *PreparedQuery) EvalRefined(ctx context.Context, k int) (bool, error) {
+	return pq.EvalOn(ctx, pq.db.Snapshot(), k)
+}
+
+// EvalOn evaluates the prepared query against an explicit snapshot —
+// the serving pattern for answering one client's query burst from one
+// consistent state.
+func (pq *PreparedQuery) EvalOn(ctx context.Context, s *Snapshot, k int) (bool, error) {
+	return s.evalFormula(ctx, pq.f, pq.info, k)
+}
+
+// Select enumerates the satisfying bindings of the query's outermost
+// quantifier on a fresh snapshot: for "some name a: φ" the region names
+// a making φ true, for "some cell r: φ" the 2-cell (face) ids. Queries
+// without a name- or cell-sorted outer quantifier fail with
+// ErrNotSelectable; "all"-quantified queries enumerate the bindings
+// satisfying the body (their complement is the counterexample list).
+func (pq *PreparedQuery) Select(ctx context.Context) (*Result, error) {
+	return pq.SelectRefined(ctx, 0)
+}
+
+// SelectRefined is Select on the k×k-refined universe.
+func (pq *PreparedQuery) SelectRefined(ctx context.Context, k int) (*Result, error) {
+	return pq.SelectOn(ctx, pq.db.Snapshot(), k)
+}
+
+// SelectOn is Select against an explicit snapshot.
+func (pq *PreparedQuery) SelectOn(ctx context.Context, s *Snapshot, k int) (*Result, error) {
+	return s.selectFormula(ctx, pq.f, pq.info, k)
+}
+
+// Result holds the witness bindings a Select enumerated: the values of
+// the outermost quantified variable under which the query body holds.
+// Exactly one of the typed columns is non-nil, matching Sort.
+type Result struct {
+	// Var is the quantified variable the bindings are for.
+	Var string
+	// Sort is the variable's sort: "name" or "cell".
+	Sort string
+	// Names is the name-sorted column: satisfying region names in the
+	// instance's sorted order. Non-nil iff Sort == "name".
+	Names []string
+	// Cells is the cell-sorted column: satisfying 2-cells as face ids
+	// of the snapshot's arrangement, ascending. Non-nil iff
+	// Sort == "cell".
+	Cells []int
+}
+
+// Len returns the number of satisfying bindings.
+func (r *Result) Len() int { return len(r.Names) + len(r.Cells) }

@@ -1,0 +1,220 @@
+package topodb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func TestPrepareEvalAcrossGenerations(t *testing.T) {
+	db := buildFig1c(t)
+	pq, err := db.Prepare("some cell r: subset(r, A) and subset(r, B)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := pq.FreeNames(); !reflect.DeepEqual(got, []string{"A", "B"}) {
+		t.Fatalf("FreeNames = %v", got)
+	}
+	ctx := context.Background()
+	ok, err := pq.Eval(ctx)
+	if err != nil || !ok {
+		t.Fatalf("Eval = %v, %v", ok, err)
+	}
+	// Mutate: shrink B away from A; the same prepared query now sees the
+	// new generation without re-preparing.
+	if err := db.AddRect("B", 100, 100, 104, 104); err != nil {
+		t.Fatal(err)
+	}
+	ok, err = pq.Eval(ctx)
+	if err != nil || ok {
+		t.Fatalf("Eval after mutation = %v, %v (A and B are now disjoint)", ok, err)
+	}
+	// Refined evaluation on the same prepared query.
+	ok, err = pq.EvalRefined(ctx, 2)
+	if err != nil || ok {
+		t.Fatalf("EvalRefined = %v, %v", ok, err)
+	}
+}
+
+func TestPrepareParseErrorTyped(t *testing.T) {
+	db := buildFig1c(t)
+	_, err := db.Prepare("some cell r subset(r, A)") // missing colon
+	if !errors.Is(err, ErrParse) {
+		t.Fatalf("Prepare: %v, want ErrParse", err)
+	}
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Prepare error %T is not a *ParseError", err)
+	}
+}
+
+func TestPrepareMissingRegionTyped(t *testing.T) {
+	db := buildFig1c(t)
+	pq, err := db.Prepare("overlap(A, Zed)")
+	if err != nil {
+		t.Fatal(err) // prepare succeeds: Zed may be added later
+	}
+	if _, err := pq.Eval(context.Background()); !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("Eval = %v, want ErrNoRegion", err)
+	}
+	// Adding the region cures the same prepared query.
+	if err := db.AddRect("Zed", 2, 2, 6, 6); err != nil {
+		t.Fatal(err)
+	}
+	ok, err := pq.Eval(context.Background())
+	if err != nil || !ok {
+		t.Fatalf("Eval after adding Zed = %v, %v", ok, err)
+	}
+}
+
+func TestPreparedSelectNames(t *testing.T) {
+	db := NewInstance()
+	if err := db.Apply(func(tx *Txn) error {
+		tx.AddRect("Lake", 0, 0, 10, 8)
+		tx.AddRect("Island", 3, 3, 5, 5)
+		tx.AddRect("Harbor", 8, 2, 14, 6)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	pq, err := db.Prepare("some name x: inside(x, Lake)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pq.Select(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sort != "name" || res.Var != "x" {
+		t.Fatalf("result header = %q/%q", res.Sort, res.Var)
+	}
+	if !reflect.DeepEqual(res.Names, []string{"Island"}) {
+		t.Fatalf("inside(x, Lake) witnesses = %v, want [Island]", res.Names)
+	}
+	if res.Len() != 1 || res.Cells != nil {
+		t.Fatalf("name result misshapen: %+v", res)
+	}
+}
+
+func TestPreparedSelectCellsAgreeWithEval(t *testing.T) {
+	db := buildFig1c(t)
+	pq, err := db.Prepare("some cell r: subset(r, A) and subset(r, B)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pq.Select(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := pq.Eval(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != (res.Len() > 0) {
+		t.Fatalf("verdict %v inconsistent with %d witnesses", ok, res.Len())
+	}
+	if res.Sort != "cell" || res.Names != nil {
+		t.Fatalf("cell result misshapen: %+v", res)
+	}
+}
+
+func TestPreparedSelectNotSelectable(t *testing.T) {
+	db := buildFig1c(t)
+	for _, src := range []string{
+		"overlap(A, B)",
+		"some region r: subset(r, A)",
+	} {
+		pq, err := db.Prepare(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pq.Select(context.Background()); !errors.Is(err, ErrNotSelectable) {
+			t.Errorf("Select(%q): %v, want ErrNotSelectable", src, err)
+		}
+	}
+}
+
+func TestSelectOnPinnedSnapshot(t *testing.T) {
+	db := buildFig1c(t)
+	snap := db.Snapshot()
+	pq, err := db.Prepare("some name x: overlap(x, A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutate after pinning; the pinned snapshot still answers from the
+	// old state while Select (fresh snapshot) sees the new region.
+	if err := db.AddRect("C", 3, 3, 7, 7); err != nil {
+		t.Fatal(err)
+	}
+	old, err := pq.SelectOn(context.Background(), snap, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(old.Names, []string{"B"}) {
+		t.Fatalf("pinned select = %v, want [B]", old.Names)
+	}
+	cur, err := pq.Select(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cur.Names, []string{"B", "C"}) {
+		t.Fatalf("fresh select = %v, want [B C]", cur.Names)
+	}
+}
+
+func TestInstanceSelectWrapper(t *testing.T) {
+	db := buildFig1c(t)
+	res, err := db.Select(context.Background(), "some name x: overlap(x, A)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res.Names, []string{"B"}) {
+		t.Fatalf("Select = %v", res.Names)
+	}
+}
+
+func TestQueryBatchPartialResults(t *testing.T) {
+	db := buildFig1c(t)
+	queries := []string{
+		"overlap(A, B)",   // true
+		"nonsense((",      // parse error
+		"disjoint(A, B)",  // false
+		"overlap(A, Zed)", // unknown region
+	}
+	results, err := db.QueryBatch(queries)
+	if err == nil {
+		t.Fatal("expected a batch error")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) {
+		t.Fatalf("error %T is not a *BatchError", err)
+	}
+	if len(be.Errs) != 2 || be.Errs[0].Index != 1 || be.Errs[1].Index != 3 {
+		t.Fatalf("failures = %+v", be.Errs)
+	}
+	if !errors.Is(err, ErrParse) || !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("aggregate %v should match ErrParse and ErrNoRegion", err)
+	}
+	if len(results) != len(queries) || !results[0] || results[2] {
+		t.Fatalf("sibling verdicts lost: %v", results)
+	}
+}
+
+func TestErrTooManyRegionsTyped(t *testing.T) {
+	db := NewInstance()
+	err := db.Apply(func(tx *Txn) error {
+		for i := 0; i < 257; i++ { // arrange.MaxRegions is 256
+			x := int64(i * 10)
+			tx.AddRect(fmt.Sprintf("R%03d", i), x, 0, x+4, 4)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Invariant(); !errors.Is(err, ErrTooManyRegions) {
+		t.Fatalf("Invariant on 257 regions: %v, want ErrTooManyRegions", err)
+	}
+}

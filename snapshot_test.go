@@ -1,0 +1,267 @@
+package topodb
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+)
+
+// TestSnapshotPinsGeneration: a snapshot keeps answering from its pinned
+// state after arbitrary mutations, while fresh snapshots see the new one.
+func TestSnapshotPinsGeneration(t *testing.T) {
+	db := buildFig1c(t)
+	snap := db.Snapshot()
+	gen := snap.Gen()
+	if got := snap.Names(); len(got) != 2 {
+		t.Fatalf("names = %v", got)
+	}
+
+	if err := db.AddRect("C", 10, 10, 14, 14); err != nil {
+		t.Fatal(err)
+	}
+
+	// The old snapshot still has two regions and fails on C.
+	if snap.Gen() != gen || len(snap.Names()) != 2 {
+		t.Fatalf("snapshot moved: gen %d->%d names %v", gen, snap.Gen(), snap.Names())
+	}
+	if _, err := snap.Relate("A", "C"); !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("old snapshot Relate(A, C): %v, want ErrNoRegion", err)
+	}
+	if _, err := snap.Query(context.Background(), "disjoint(A, C)"); !errors.Is(err, ErrNoRegion) {
+		t.Fatalf("old snapshot Query on C: %v, want ErrNoRegion", err)
+	}
+
+	// A fresh snapshot sees C; the old one's relations stay two-region.
+	fresh := db.Snapshot()
+	if fresh.Gen() == gen {
+		t.Fatal("generation did not move")
+	}
+	if rel, err := fresh.Relate("A", "C"); err != nil || rel != Disjoint {
+		t.Fatalf("fresh Relate(A, C) = %v, %v", rel, err)
+	}
+	oldRels, err := snap.AllRelations()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(oldRels) != 2 { // ordered pairs over {A, B}
+		t.Fatalf("old snapshot has %d relation rows, want 2", len(oldRels))
+	}
+}
+
+// TestSnapshotSharesArtifacts: snapshots of the same generation share one
+// artifact cache; a mutation starts a fresh one.
+func TestSnapshotSharesArtifacts(t *testing.T) {
+	db := buildFig1c(t)
+	s1, s2 := db.Snapshot(), db.Snapshot()
+	iv1, err := s1.Invariant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	iv2, err := s2.Invariant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv1.Internal() != iv2.Internal() {
+		t.Fatal("same-generation snapshots rebuilt the invariant")
+	}
+	if err := db.AddRect("C", 10, 10, 14, 14); err != nil {
+		t.Fatal(err)
+	}
+	iv3, err := db.Snapshot().Invariant()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if iv3.Internal() == iv1.Internal() {
+		t.Fatal("post-mutation snapshot returned the stale invariant")
+	}
+}
+
+// TestSnapshotEquivalences: the snapshot-level equivalence tests agree
+// with the instance-level wrappers.
+func TestSnapshotEquivalences(t *testing.T) {
+	a := buildFig1c(t)
+	b := buildFig1c(t)
+	eq, err := a.Snapshot().Equivalent(b.Snapshot())
+	if err != nil || !eq {
+		t.Fatalf("identical instances: Equivalent = %v, %v", eq, err)
+	}
+	fi, err := a.Snapshot().FourIntersectionEquivalent(b.Snapshot())
+	if err != nil || !fi {
+		t.Fatalf("identical instances: FourIntersectionEquivalent = %v, %v", fi, err)
+	}
+	seq, err := a.Snapshot().SEquivalent(b.Snapshot())
+	if err != nil || !seq {
+		t.Fatalf("identical instances: SEquivalent = %v, %v", seq, err)
+	}
+	// Self-equivalence on one snapshot must not deadlock or rebuild.
+	self, err := a.Snapshot().Equivalent(a.Snapshot())
+	if err != nil || !self {
+		t.Fatalf("self equivalence = %v, %v", self, err)
+	}
+}
+
+// TestSnapshotIsolationUnderApply is the -race hammer: reader goroutines
+// each pin a snapshot and run long reads (including a slow refined
+// Select) while a writer commits Apply batches. Every reader must observe
+// exactly its pinned generation: stable names, a relation table over
+// those names only, and one shared invariant per snapshot.
+func TestSnapshotIsolationUnderApply(t *testing.T) {
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(4))
+	db := NewInstance()
+	if err := db.Apply(func(tx *Txn) error {
+		tx.AddRect("A", 0, 0, 4, 4)
+		tx.AddRect("B", 2, 2, 6, 6)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	const writerBatches = 6
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // writer: batched mutations, two regions per generation
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < writerBatches; i++ {
+			x := int64(20 + 10*i)
+			err := db.Apply(func(tx *Txn) error {
+				tx.AddRect(fmt.Sprintf("W%02da", i), x, 0, x+4, 4)
+				tx.AddRect(fmt.Sprintf("W%02db", i), x+2, 2, x+6, 6)
+				return nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; ; round++ {
+				select {
+				case <-stop:
+					if round > 0 {
+						return
+					}
+					// Run at least one full round even if the writer
+					// finished first.
+				default:
+				}
+				s := db.Snapshot()
+				gen := s.Gen()
+				names := s.Names()
+				nameSet := make(map[string]bool, len(names))
+				for _, n := range names {
+					nameSet[n] = true
+				}
+				if len(names)%2 != 0 {
+					t.Errorf("snapshot caught a torn Apply: odd region count %d", len(names))
+					return
+				}
+
+				// Slow read: a refined Select walks a finer universe.
+				res, err := s.SelectRefined(context.Background(), "some cell r: subset(r, A)", 2)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if res.Sort != "cell" || len(res.Cells) == 0 {
+					t.Errorf("refined select on A: %+v", res)
+					return
+				}
+
+				// The relation table covers exactly the pinned names.
+				rels, err := s.AllRelations()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				n := len(names)
+				if len(rels) != n*(n-1) {
+					t.Errorf("gen %d: %d relation rows for %d names", gen, len(rels), n)
+					return
+				}
+				for k := range rels {
+					if !nameSet[k[0]] || !nameSet[k[1]] {
+						t.Errorf("gen %d: relation row %v outside snapshot names", gen, k)
+						return
+					}
+				}
+
+				// Same-generation reads are consistent throughout.
+				iv1, err := s.Invariant()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				iv2, err := s.Invariant()
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if iv1.Internal() != iv2.Internal() {
+					t.Error("one snapshot produced two invariants")
+					return
+				}
+				if s.Gen() != gen || len(s.Names()) != len(names) {
+					t.Errorf("snapshot drifted from gen %d", gen)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Final state: every Apply batch is visible.
+	final := db.Snapshot()
+	if got, want := len(final.Names()), 2+2*writerBatches; got != want {
+		t.Fatalf("final region count = %d, want %d", got, want)
+	}
+}
+
+// TestQueryBatchCanceledTyped: cancellation is typed per query, not just
+// on the aggregate, so callers (and topoquery's exit-code mapping) can
+// classify each failure.
+func TestQueryBatchCanceledTyped(t *testing.T) {
+	db := buildFig1c(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.Snapshot().QueryBatch(ctx, []string{"overlap(A, B)", "meet(A, B)"})
+	if err == nil {
+		t.Fatal("expected a batch error")
+	}
+	var be *BatchError
+	if !errors.As(err, &be) || len(be.Errs) != 2 {
+		t.Fatalf("canceled batch error: %v", err)
+	}
+	for _, qe := range be.Errs {
+		if !errors.Is(qe, ErrCanceled) {
+			t.Errorf("per-query error %v should match ErrCanceled", qe)
+		}
+	}
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("aggregate %v should match ErrCanceled and context.Canceled", err)
+	}
+}
+
+// TestSnapshotQueryCanceled: a canceled context surfaces as ErrCanceled
+// (and still matches the context sentinel underneath).
+func TestSnapshotQueryCanceled(t *testing.T) {
+	db := buildFig1c(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := db.Snapshot().Query(ctx, "some cell r: subset(r, A)")
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("canceled query: %v, want ErrCanceled", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled query: %v should keep context.Canceled in the chain", err)
+	}
+}

@@ -19,41 +19,59 @@
 //     relation networks, §6 / [GPP95]),
 //   - a Fáry/Tutte polygonal-representative construction (Theorem 3.5).
 //
-// # Caching and concurrency
+// # Serving API: snapshots, prepared queries, transactions
 //
 // The paper's central complexity result is that the expensive step of
 // topological query answering is building the invariant structure; after
-// that, queries are classical relational evaluation. Instance mirrors the
-// split: every derived artifact — the planar arrangement, the query
-// universe per refinement level, the invariant T_I, the S-invariant, the
-// thematic relational image, and the all-pairs relation table — is
-// computed once per mutation generation and memoized. Repeated queries on
-// an unchanged instance skip the arrangement rebuild entirely; any Add*
-// mutation invalidates the whole cache atomically. Concurrent readers
-// (Query, QueryBatch, Relate, Invariant, Thematic, ...) are safe and share
-// a single in-flight computation per artifact; mutators serialize against
-// readers. The one escape hatch is Internal(): callers that mutate the
-// returned spatial instance directly must not do so concurrently with
-// reads (mutations through it are still detected between calls, because
-// the cache is stamped with the instance's mutation generation).
+// that, queries are classical relational evaluation. The API mirrors the
+// split the way a database driver would:
+//
+//   - Snapshot pins an immutable view of one mutation generation. All
+//     reads (Query, Select, Relate, AllRelations, Invariant, Thematic,
+//     the equivalence tests) run on snapshots against a frozen region
+//     table, so long evaluations never block — and are never blocked by
+//     — writers. Derived artifacts (arrangement, per-level query
+//     universes, invariant, S-invariant, thematic image, relation
+//     table) are memoized per generation and shared by every snapshot
+//     of it.
+//   - Prepare parses and analyzes a query once; PreparedQuery.Eval
+//     re-evaluates it on the current generation with zero parse cost,
+//     and PreparedQuery.Select enumerates witness bindings instead of a
+//     bare verdict.
+//   - Apply stages a batch of Add* mutations and commits them under one
+//     write-lock acquisition, atomically with respect to snapshots.
+//   - Query-shaped entry points accept a context; evaluation honors
+//     cancellation (ErrCanceled) at quantifier-binding granularity.
+//   - Errors are typed: ErrParse, ErrNoRegion, ErrTooManyRegions,
+//     ErrCanceled, ErrNotSelectable match under errors.Is.
+//
+// The Instance-level read methods remain as thin wrappers that take a
+// fresh snapshot per call, so pre-snapshot code keeps working unchanged.
+// The one escape hatch is Internal(): callers that mutate the returned
+// spatial instance directly must not do so concurrently with reads
+// (mutations through it are still detected between calls, because
+// snapshots are stamped with the instance's mutation generation).
 //
 // Quick start:
 //
 //	db := topodb.NewInstance()
-//	db.AddRect("A", 0, 0, 4, 4)
-//	db.AddRect("B", 2, 2, 6, 6)
+//	db.Apply(func(tx *topodb.Txn) error {
+//		tx.AddRect("A", 0, 0, 4, 4)
+//		tx.AddRect("B", 2, 2, 6, 6)
+//		return nil
+//	})
 //	rel, _ := db.Relate("A", "B")        // overlap
 //	inv, _ := db.Invariant()             // T_I
-//	ok, _ := db.Query("some cell r: subset(r, A) and subset(r, B)")
-//	res, _ := db.QueryBatch([]string{"overlap(A, B)", "meet(A, B)"})
+//	pq, _ := db.Prepare("some cell r: subset(r, A) and subset(r, B)")
+//	ok, _ := pq.Eval(ctx)
+//	res, _ := pq.Select(ctx)             // witness cells, not just a verdict
 package topodb
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
-	"topodb/internal/fary"
-	"topodb/internal/folang"
 	"topodb/internal/fourint"
 	"topodb/internal/geom"
 	"topodb/internal/invariant"
@@ -65,12 +83,12 @@ import (
 )
 
 // Instance is a spatial database instance: a finite set of named regions
-// plus a generation-stamped cache of the derived artifacts (arrangement,
-// query universes, invariant, thematic image, relation table). Methods are
-// safe for concurrent use; see the package comment for the cache
+// plus the per-generation caches of the derived artifacts (arrangement,
+// query universes, invariant, thematic image, relation table). Methods
+// are safe for concurrent use; see the package comment for the snapshot
 // semantics.
 type Instance struct {
-	mu    sync.RWMutex // readers hold R during evaluation; mutators hold W
+	mu    sync.RWMutex // mutators hold W; readers hold R only to pin a snapshot
 	in    *spatial.Instance
 	cache artifactCache
 }
@@ -90,21 +108,53 @@ func Wrap(in *spatial.Instance) *Instance { return wrap(in) }
 // internal packages (examples and benchmarks in this module). Mutating it
 // directly bypasses the Instance lock: do not do so concurrently with
 // other calls. Sequential mutations are safe — they bump the instance
-// generation, which invalidates the artifact cache on the next read.
+// generation, which retires the current snapshot generation on the next
+// read.
 func (db *Instance) Internal() *spatial.Instance { return db.in }
 
-// add runs a mutation under the write lock. The cache needs no explicit
-// flush: the mutation bumps the spatial generation, and stale entries are
-// discarded on the next cache access.
+// add runs a mutation under the write lock. The caches need no explicit
+// flush: the mutation bumps the spatial generation, and the next read
+// starts a fresh snapshot generation.
 func (db *Instance) add(name string, r region.Region) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	return db.in.Add(name, r)
 }
 
+// mkRect constructs an open axis-parallel rectangle region.
+func mkRect(x1, y1, x2, y2 int64) (region.Region, error) {
+	return region.NewRect(rat.FromInt(x1), rat.FromInt(y1), rat.FromInt(x2), rat.FromInt(y2))
+}
+
+// mkPolygon constructs a simple-polygon region from (x,y) pairs.
+func mkPolygon(coords []int64) (region.Region, error) {
+	if len(coords) < 6 || len(coords)%2 != 0 {
+		return region.Region{}, fmt.Errorf("topodb: polygon needs >= 3 (x,y) pairs")
+	}
+	ring := make(geom.Ring, 0, len(coords)/2)
+	for i := 0; i+1 < len(coords); i += 2 {
+		ring = append(ring, geom.P(coords[i], coords[i+1]))
+	}
+	return region.NewPoly(ring)
+}
+
+// mkCircle constructs a discretized circle region with >= n vertices.
+func mkCircle(cx, cy, radius int64, n int) (region.Region, error) {
+	return region.NewCircle(rat.FromInt(cx), rat.FromInt(cy), rat.FromInt(radius), n)
+}
+
+// mkRectUnion constructs a Rect* region from rectangle coordinates.
+func mkRectUnion(rects [][4]int64) (region.Region, error) {
+	rs := make([]region.Region, 0, len(rects))
+	for _, q := range rects {
+		rs = append(rs, region.MustRect(q[0], q[1], q[2], q[3]))
+	}
+	return region.NewRectUnion(rs...)
+}
+
 // AddRect adds an open axis-parallel rectangle (x1,y1)-(x2,y2).
 func (db *Instance) AddRect(name string, x1, y1, x2, y2 int64) error {
-	r, err := region.NewRect(rat.FromInt(x1), rat.FromInt(y1), rat.FromInt(x2), rat.FromInt(y2))
+	r, err := mkRect(x1, y1, x2, y2)
 	if err != nil {
 		return err
 	}
@@ -113,14 +163,7 @@ func (db *Instance) AddRect(name string, x1, y1, x2, y2 int64) error {
 
 // AddPolygon adds a simple polygon given by its vertices (x,y pairs).
 func (db *Instance) AddPolygon(name string, coords ...int64) error {
-	if len(coords) < 6 || len(coords)%2 != 0 {
-		return fmt.Errorf("topodb: polygon needs >= 3 (x,y) pairs")
-	}
-	ring := make(geom.Ring, 0, len(coords)/2)
-	for i := 0; i+1 < len(coords); i += 2 {
-		ring = append(ring, geom.P(coords[i], coords[i+1]))
-	}
-	r, err := region.NewPoly(ring)
+	r, err := mkPolygon(coords)
 	if err != nil {
 		return err
 	}
@@ -130,7 +173,7 @@ func (db *Instance) AddPolygon(name string, coords ...int64) error {
 // AddCircle adds a discretized circle (an Alg region: all vertices lie
 // exactly on the circle) with at least n boundary vertices.
 func (db *Instance) AddCircle(name string, cx, cy, radius int64, n int) error {
-	r, err := region.NewCircle(rat.FromInt(cx), rat.FromInt(cy), rat.FromInt(radius), n)
+	r, err := mkCircle(cx, cy, radius, n)
 	if err != nil {
 		return err
 	}
@@ -140,11 +183,7 @@ func (db *Instance) AddCircle(name string, cx, cy, radius int64, n int) error {
 // AddRectUnion adds a Rect* region: the union of the given rectangles
 // (each four int64 coordinates), which must form a disc.
 func (db *Instance) AddRectUnion(name string, rects ...[4]int64) error {
-	rs := make([]region.Region, 0, len(rects))
-	for _, q := range rects {
-		rs = append(rs, region.MustRect(q[0], q[1], q[2], q[3]))
-	}
-	r, err := region.NewRectUnion(rs...)
+	r, err := mkRectUnion(rects)
 	if err != nil {
 		return err
 	}
@@ -175,39 +214,16 @@ const (
 	Covers    = fourint.Covers
 )
 
-// Relate classifies the 4-intersection relation between two regions. It
-// reads the cached arrangement of the full instance, so after the first
-// derived-artifact computation every pair costs one pass over the cells.
+// Relate classifies the 4-intersection relation between two regions on a
+// fresh snapshot. See Snapshot.Relate.
 func (db *Instance) Relate(a, b string) (Relation, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if _, ok := db.in.Ext(a); !ok {
-		return 0, fmt.Errorf("topodb: no region %q", a)
-	}
-	if _, ok := db.in.Ext(b); !ok {
-		return 0, fmt.Errorf("topodb: no region %q", b)
-	}
-	arr, err := db.arrangement()
-	if err != nil {
-		return 0, err
-	}
-	return fourint.Classify(fourint.MatrixOf(arr, arr.RegionIndex(a), arr.RegionIndex(b)))
+	return db.Snapshot().Relate(a, b)
 }
 
-// AllRelations computes the relation for every ordered pair. The table is
-// cached per generation; the returned map is a copy the caller owns.
+// AllRelations computes the relation for every ordered pair on a fresh
+// snapshot. The returned map is a copy the caller owns.
 func (db *Instance) AllRelations() (map[[2]string]Relation, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	rels, err := db.relations()
-	if err != nil {
-		return nil, err
-	}
-	out := make(map[[2]string]Relation, len(rels))
-	for k, v := range rels {
-		out[k] = v
-	}
-	return out, nil
+	return db.Snapshot().AllRelations()
 }
 
 // Invariant is the topological invariant T_I of an instance.
@@ -215,17 +231,12 @@ type Invariant struct {
 	t *invariant.T
 }
 
-// Invariant computes T_I (§3, Theorem 3.4). The result is cached: repeated
-// calls on an unchanged instance return a view of the same structure, and
-// the underlying arrangement is shared with Query, Relate and Thematic.
+// Invariant computes T_I (§3, Theorem 3.4) on a fresh snapshot. The
+// result is cached per generation: repeated calls on an unchanged
+// instance return views of the same structure, and the underlying
+// arrangement is shared with Query, Relate and Thematic.
 func (db *Instance) Invariant() (*Invariant, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	t, err := db.invariantT()
-	if err != nil {
-		return nil, err
-	}
-	return &Invariant{t: t}, nil
+	return db.Snapshot().Invariant()
 }
 
 // Stats returns the invariant's cell counts (vertices, edges, faces).
@@ -252,59 +263,34 @@ func (iv *Invariant) Internal() *invariant.T { return iv.t }
 
 // Equivalent reports whether two instances are topologically equivalent —
 // related by a homeomorphism of the plane fixing region names
-// (Theorem 3.4).
+// (Theorem 3.4). Each instance is snapshotted once, never holding both
+// locks.
 func Equivalent(a, b *Instance) (bool, error) {
-	ta, err := a.Invariant()
-	if err != nil {
-		return false, err
-	}
-	tb, err := b.Invariant()
-	if err != nil {
-		return false, err
-	}
-	return invariant.Equivalent(ta.t, tb.t), nil
+	return a.Snapshot().Equivalent(b.Snapshot())
 }
 
 // FourIntersectionEquivalent reports whether two instances are
 // 4-intersection equivalent (§2) — a strictly coarser relation than
 // topological equivalence (Fig 1).
 func FourIntersectionEquivalent(a, b *Instance) (bool, error) {
-	// Name sets are compared from per-instance snapshots (each taken under
-	// its own lock, never holding both) before any relation table is
-	// computed — differing names short-circuit the expensive work.
-	an, bn := a.Names(), b.Names()
-	if len(an) != len(bn) {
-		return false, nil
-	}
-	for i := range an {
-		if an[i] != bn[i] {
-			return false, nil
-		}
-	}
-	ra, err := a.AllRelations()
-	if err != nil {
-		return false, err
-	}
-	rb, err := b.AllRelations()
-	if err != nil {
-		return false, err
-	}
-	for k, v := range ra {
-		if rb[k] != v {
-			return false, nil
-		}
-	}
-	return true, nil
+	return a.Snapshot().FourIntersectionEquivalent(b.Snapshot())
+}
+
+// SEquivalent reports whether two instances are equivalent up to a
+// symmetry (the paper's group S of monotone coordinate maps), decided via
+// the S-invariant of Theorem 6.1 / Fig 14 — a strictly finer relation
+// than topological equivalence.
+func SEquivalent(a, b *Instance) (bool, error) {
+	return a.Snapshot().SEquivalent(b.Snapshot())
 }
 
 // Thematic computes the relational image thematic(I) over schema Th
-// (§3, Corollary 3.7). Topological queries on the instance become
-// classical relational queries on the result. The database is cached per
-// generation and shared between callers: treat it as read-only.
+// (§3, Corollary 3.7) on a fresh snapshot. Topological queries on the
+// instance become classical relational queries on the result. The
+// database is cached per generation and shared between callers: treat it
+// as read-only.
 func (db *Instance) Thematic() (*reldb.DB, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	return db.thematicDB()
+	return db.Snapshot().Thematic()
 }
 
 // ValidateThematic checks the labeled-planar-graph integrity conditions
@@ -312,16 +298,17 @@ func (db *Instance) Thematic() (*reldb.DB, error) {
 func ValidateThematic(d *reldb.DB) error { return thematic.Validate(d) }
 
 // Query parses and evaluates a region-based query (§4/§7 semantics) with
-// default options and no grid refinement. The language:
+// default options and no grid refinement, on a fresh snapshot. The
+// language:
 //
 //	some|all region|cell|name x: φ
 //	φ ::= pred(t, t) | t = t | not φ | φ and φ | φ or φ | φ implies φ
 //	pred ∈ {disjoint, meet, equal, overlap, inside, contains,
 //	        covers, coveredby, connect, subset}
 //
-// The evaluation universe (arrangement plus cell closures) is cached:
-// after the first query on a given generation, evaluation is pure
-// relational work over the memoized cell complex.
+// For repeated evaluation prefer Prepare, which parses once; for
+// cancellation and deadlines use Snapshot.Query or PreparedQuery.Eval,
+// which accept a context.
 func (db *Instance) Query(src string) (bool, error) {
 	return db.QueryRefined(src, 0)
 }
@@ -331,63 +318,33 @@ func (db *Instance) Query(src string) (bool, error) {
 // quantifier; k = 0 is the paper's plain cell complex). Each refinement
 // level caches its own universe.
 func (db *Instance) QueryRefined(src string, k int) (bool, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	u, err := db.universe(k)
-	if err != nil {
-		return false, err
-	}
-	return folang.NewEvaluator(u).EvalQuery(src)
+	return db.Snapshot().QueryRefined(context.Background(), src, k)
 }
 
-// QueryBatch evaluates a batch of queries against the shared cached
-// universe, fanning evaluation out over a bounded worker pool. results[i]
-// is the verdict of queries[i]; the first malformed or failing query (by
-// position) aborts the batch with an error.
+// QueryBatch evaluates a batch of queries against one snapshot's cached
+// universe, fanning evaluation out over a bounded worker pool.
+// results[i] is the verdict of queries[i]. Every query is attempted:
+// when some fail, the error is a *BatchError locating each failure by
+// position and the sibling verdicts remain valid.
 func (db *Instance) QueryBatch(queries []string) ([]bool, error) {
 	return db.QueryBatchRefined(queries, 0)
 }
 
 // QueryBatchRefined is QueryBatch on the k×k-refined universe.
 func (db *Instance) QueryBatchRefined(queries []string, k int) ([]bool, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	u, err := db.universe(k)
-	if err != nil {
-		return nil, err
-	}
-	return folang.EvaluateAll(u, queries)
+	return db.Snapshot().QueryBatchRefined(context.Background(), queries, k)
+}
+
+// Select parses a query whose outermost node is a name- or cell-sorted
+// quantifier and enumerates its satisfying bindings on a fresh snapshot.
+// See PreparedQuery.Select for the prepared form and the Result shape.
+func (db *Instance) Select(ctx context.Context, src string) (*Result, error) {
+	return db.Snapshot().Select(ctx, src)
 }
 
 // PolygonalRepresentative returns a Poly instance topologically
 // equivalent to this one (Theorem 3.5); keepEvery > 1 coarsens
 // discretized boundaries.
 func (db *Instance) PolygonalRepresentative(keepEvery int) (*Instance, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	out, err := fary.Polygonalize(db.in, keepEvery)
-	if err != nil {
-		return nil, err
-	}
-	return wrap(out), nil
-}
-
-// SEquivalent reports whether two instances are equivalent up to a
-// symmetry (the paper's group S of monotone coordinate maps), decided via
-// the S-invariant of Theorem 6.1 / Fig 14 — a strictly finer relation
-// than topological equivalence. Both S-invariants are cached.
-func SEquivalent(a, b *Instance) (bool, error) {
-	a.mu.RLock()
-	sa, err := a.sinvariantT()
-	a.mu.RUnlock()
-	if err != nil {
-		return false, err
-	}
-	b.mu.RLock()
-	sb, err := b.sinvariantT()
-	b.mu.RUnlock()
-	if err != nil {
-		return false, err
-	}
-	return invariant.Equivalent(sa, sb), nil
+	return db.Snapshot().PolygonalRepresentative(keepEvery)
 }

@@ -1,0 +1,104 @@
+package topodb
+
+import (
+	"fmt"
+
+	"topodb/internal/region"
+)
+
+// Txn stages a batch of mutations for Instance.Apply. The Add* methods
+// mirror the Instance ones but only validate and stage; nothing is
+// visible to readers until Apply commits the whole batch. Construction
+// errors are returned per call and also latched into the transaction, so
+// a caller may ignore individual returns — Apply fails anyway.
+//
+// A Txn is not safe for concurrent use and must not outlive its Apply.
+type Txn struct {
+	staged []stagedAdd
+	err    error
+}
+
+type stagedAdd struct {
+	name string
+	r    region.Region
+}
+
+// stage validates one insertion exactly as the commit will, so Apply's
+// commit loop cannot fail halfway and the batch stays atomic.
+func (tx *Txn) stage(name string, r region.Region, err error) error {
+	if err == nil && name == "" {
+		err = fmt.Errorf("topodb: empty region name")
+	}
+	if err == nil && r.IsEmpty() {
+		err = fmt.Errorf("topodb: empty region for %q", name)
+	}
+	if err != nil {
+		if tx.err == nil {
+			tx.err = err
+		}
+		return err
+	}
+	tx.staged = append(tx.staged, stagedAdd{name: name, r: r})
+	return nil
+}
+
+// AddRect stages an open axis-parallel rectangle (x1,y1)-(x2,y2).
+func (tx *Txn) AddRect(name string, x1, y1, x2, y2 int64) error {
+	r, err := mkRect(x1, y1, x2, y2)
+	return tx.stage(name, r, err)
+}
+
+// AddPolygon stages a simple polygon given by its vertices (x,y pairs).
+func (tx *Txn) AddPolygon(name string, coords ...int64) error {
+	r, err := mkPolygon(coords)
+	return tx.stage(name, r, err)
+}
+
+// AddCircle stages a discretized circle with at least n boundary
+// vertices.
+func (tx *Txn) AddCircle(name string, cx, cy, radius int64, n int) error {
+	r, err := mkCircle(cx, cy, radius, n)
+	return tx.stage(name, r, err)
+}
+
+// AddRectUnion stages a Rect* region: the union of the given rectangles,
+// which must form a disc.
+func (tx *Txn) AddRectUnion(name string, rects ...[4]int64) error {
+	r, err := mkRectUnion(rects)
+	return tx.stage(name, r, err)
+}
+
+// Len returns the number of successfully staged mutations.
+func (tx *Txn) Len() int { return len(tx.staged) }
+
+// Apply runs fn against a fresh transaction and commits its staged
+// mutations atomically: one write-lock acquisition covers the whole
+// batch, so concurrent snapshots observe either none or all of it, and
+// the artifact cache is invalidated once (lazily, at the next read of
+// the new generation) instead of once per Add*.
+//
+// If fn returns an error, or any staged call failed, nothing is applied
+// and that error is returned. Otherwise Apply returns nil and the next
+// Snapshot sees every staged region.
+func (db *Instance) Apply(fn func(tx *Txn) error) error {
+	tx := &Txn{}
+	if err := fn(tx); err != nil {
+		return err
+	}
+	if tx.err != nil {
+		return tx.err
+	}
+	if len(tx.staged) == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	for _, op := range tx.staged {
+		// Pre-validated at stage time; an error here would mean the
+		// spatial layer grew a new invariant this staging misses.
+		if err := db.in.Add(op.name, op.r); err != nil {
+			return err
+		}
+	}
+	return nil
+}

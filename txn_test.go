@@ -1,0 +1,107 @@
+package topodb
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestApplyCommitsAtomically(t *testing.T) {
+	db := NewInstance()
+	err := db.Apply(func(tx *Txn) error {
+		if err := tx.AddRect("A", 0, 0, 4, 4); err != nil {
+			return err
+		}
+		if err := tx.AddPolygon("B", 10, 0, 14, 0, 12, 4); err != nil {
+			return err
+		}
+		if err := tx.AddCircle("C", 20, 2, 1, 12); err != nil {
+			return err
+		}
+		if err := tx.AddRectUnion("D", [4]int64{30, 0, 32, 4}, [4]int64{32, 0, 34, 2}); err != nil {
+			return err
+		}
+		if tx.Len() != 4 {
+			t.Errorf("Len = %d mid-transaction", tx.Len())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := db.Names()
+	if len(names) != 4 {
+		t.Fatalf("names after Apply = %v", names)
+	}
+	if rel, err := db.Relate("A", "B"); err != nil || rel != Disjoint {
+		t.Fatalf("Relate = %v, %v", rel, err)
+	}
+}
+
+func TestApplyRollsBackOnCallbackError(t *testing.T) {
+	db := buildFig1c(t)
+	boom := errors.New("boom")
+	err := db.Apply(func(tx *Txn) error {
+		tx.AddRect("C", 10, 10, 14, 14)
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("Apply = %v, want the callback error", err)
+	}
+	for _, n := range db.Names() {
+		if n == "C" {
+			t.Fatal("rolled-back region C is visible")
+		}
+	}
+}
+
+func TestApplyRollsBackOnStagingError(t *testing.T) {
+	db := buildFig1c(t)
+	err := db.Apply(func(tx *Txn) error {
+		tx.AddRect("C", 10, 10, 14, 14)
+		tx.AddPolygon("bad", 0, 0, 1, 1) // two points: invalid, error ignored
+		tx.AddRect("D", 20, 20, 24, 24)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("Apply with an invalid staged region must fail")
+	}
+	for _, n := range db.Names() {
+		if n == "C" || n == "D" {
+			t.Fatalf("region %s from a failed Apply is visible", n)
+		}
+	}
+	// Degenerate rectangle and empty name also fail staging.
+	if db.Apply(func(tx *Txn) error { tx.AddRect("E", 0, 0, 0, 4); return nil }) == nil {
+		t.Fatal("degenerate rect accepted")
+	}
+	if db.Apply(func(tx *Txn) error { tx.AddRect("", 0, 0, 4, 4); return nil }) == nil {
+		t.Fatal("empty name accepted")
+	}
+}
+
+func TestApplyEmptyIsNoop(t *testing.T) {
+	db := buildFig1c(t)
+	gen := db.Snapshot().Gen()
+	if err := db.Apply(func(tx *Txn) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Snapshot().Gen(); got != gen {
+		t.Fatalf("empty Apply moved the generation %d -> %d", gen, got)
+	}
+}
+
+func TestApplyReplacesExisting(t *testing.T) {
+	db := buildFig1c(t)
+	if err := db.Apply(func(tx *Txn) error {
+		return tx.AddRect("B", 100, 100, 104, 104) // move B away from A
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := db.Relate("A", "B")
+	if err != nil || rel != Disjoint {
+		t.Fatalf("Relate after replace = %v, %v", rel, err)
+	}
+	if n := len(db.Names()); n != 2 {
+		t.Fatalf("replace grew the instance to %d regions", n)
+	}
+}
