@@ -664,3 +664,109 @@ func BenchmarkSigmaTI(b *testing.B) {
 		}
 	}
 }
+
+// ---- Incremental artifact maintenance: delta-bound mutation cost ----
+
+// BenchmarkIncrementalAdd is the headline incremental benchmark: deriving
+// the arrangement after a single-region Add on a warm n=200 scatter
+// instance, against the cold rebuild of the same 201-region instance. The
+// acceptance bar is incremental >= 10x faster; CI gates a conservative
+// floor of it.
+func BenchmarkIncrementalAdd(b *testing.B) {
+	base := workload.SparseScatter(200)
+	parent, err := arrange.Build(base)
+	if err != nil {
+		b.Fatal(err)
+	}
+	grown := base.Clone()
+	grown.MustAdd("Znew", workload.SparseScatter(201).MustExt("S0200"))
+	ctx := context.Background()
+	if _, err := arrange.Insert(ctx, parent, grown, "Znew"); err != nil {
+		b.Fatal(err) // warm the parent's point-location index
+	}
+	b.Run("incremental", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := arrange.Insert(ctx, parent, grown, "Znew"); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := arrange.Build(grown); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkIncrementalApply measures the full serving path: Apply one
+// region, then pin a snapshot and read its arrangement-backed invariant —
+// the cache derives the new generation incrementally from the previous
+// one. The instance is rebuilt every batch of iterations to stay under the
+// region capacity.
+func BenchmarkIncrementalApply(b *testing.B) {
+	const capacity = 40 // adds per warm instance before a rebuild
+	base := workload.SparseScatter(200)
+	db := Wrap(base.Clone())
+	if _, err := db.Invariant(); err != nil {
+		b.Fatal(err)
+	}
+	added := 0
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if added == capacity {
+			b.StopTimer()
+			db = Wrap(base.Clone())
+			if _, err := db.Invariant(); err != nil {
+				b.Fatal(err)
+			}
+			added = 0
+			b.StartTimer()
+		}
+		x := int64(1000 + 3*added)
+		if err := db.Apply(func(tx *Txn) error {
+			return tx.AddRect(fmt.Sprintf("zz%04d", added), x, 0, x+2, 2)
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := db.Invariant(); err != nil {
+			b.Fatal(err)
+		}
+		added++
+	}
+}
+
+// BenchmarkFaceOfPoint measures point location through the persistent
+// x-interval index against the linear edge/face scan, on face-interior
+// probes across a scatter arrangement.
+func BenchmarkFaceOfPoint(b *testing.B) {
+	a, err := arrange.Build(workload.SparseScatter(200))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var pts []geom.Pt
+	for fi := range a.Faces {
+		pts = append(pts, a.Faces[fi].Sample)
+	}
+	if _, err := a.FaceOfPoint(pts[0]); err != nil {
+		b.Fatal(err) // warm the index
+	}
+	b.Run("indexed", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := a.FaceOfPoint(pts[i%len(pts)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("scan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := a.FaceOfPointScan(pts[i%len(pts)]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -2,8 +2,10 @@ package topodb
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"topodb/internal/arrange"
 	"topodb/internal/folang"
@@ -54,12 +56,63 @@ type cacheEntry struct {
 // outlives the instance's interest in it for exactly as long as some
 // Snapshot still references it; then the GC collects generation and
 // artifacts together.
+//
+// A generation reached from its predecessor by a pure extension (an
+// Apply/Add* batch that only added regions) carries a link to the parent
+// generation's cache and the added names: its arrangement is then derived
+// by arrange.Insert from the parent's, and its relation table recomputes
+// only the pairs touching the added regions (see buildArrangement and
+// relations). The chain is cut at depth one — linking a new generation
+// drops the parent's own parent — so at most two generations are ever
+// retained by the cache itself.
 type genCache struct {
 	gen uint64
 	in  *spatial.Instance // frozen; never mutated after construction
 
 	mu      sync.Mutex
 	entries map[artifactKey]*cacheEntry
+	parent  *genCache // previous generation, when the delta was pure
+	added   []string  // names this generation added over parent
+}
+
+// parentLink returns the incremental-derivation link, nil when this
+// generation must build cold.
+func (c *genCache) parentLink() (*genCache, []string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.parent, c.added
+}
+
+// dropParent cuts the derivation chain (called when this generation
+// becomes a parent itself, bounding retained history to one generation
+// back).
+func (c *genCache) dropParent() {
+	c.mu.Lock()
+	c.parent = nil
+	c.added = nil
+	c.mu.Unlock()
+}
+
+// completed returns an artifact's value only if its build already finished
+// successfully — it never waits and never triggers a build. The
+// incremental paths use it: deriving from a parent artifact is only
+// worthwhile when the parent actually materialized one.
+func (c *genCache) completed(key artifactKey) (any, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.done:
+		if e.err != nil {
+			return nil, false
+		}
+		return e.val, true
+	default:
+		return nil, false
+	}
 }
 
 // get returns the artifact for key, invoking build at most once per key —
@@ -94,6 +147,17 @@ func (c *genCache) get(ctx context.Context, key artifactKey, build func() (any, 
 		}
 	}()
 	e.val, e.err = build()
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		// The winning requester's context canceled the build mid-way.
+		// Every current waiter fails with the error, but the slot is
+		// vacated so the next requester rebuilds instead of inheriting a
+		// permanently poisoned entry.
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
 	close(e.done)
 	return e.val, e.err
 }
@@ -101,36 +165,128 @@ func (c *genCache) get(ctx context.Context, key artifactKey, build func() (any, 
 // artifactCache hands out the genCache of the instance's current
 // generation, creating it (with a frozen clone of the spatial instance) the
 // first time a generation is read. Only the newest generation is retained
-// here; older ones live on exactly as long as their snapshots do.
+// here (plus its parent, for incremental derivation); older ones live on
+// exactly as long as their snapshots do.
 type artifactCache struct {
-	mu  sync.Mutex
-	cur *genCache
+	mu      sync.Mutex
+	cur     *genCache
+	pending *delta // mutations committed since cur's generation
+}
+
+// delta is the structured record of the mutations between two generations:
+// the names purely added, or an invalid marker when the span contained a
+// replacement (or any mutation the commit path could not classify).
+// Contiguous batches merge, so one delta always spans exactly
+// (parentGen, newGen].
+type delta struct {
+	parentGen, newGen uint64
+	added             []string
+	invalid           bool
+}
+
+// note records a committed mutation batch. Called under the instance write
+// lock by applyLocked; mutations that bypass it (Instance.Internal) leave
+// the pending delta out of step with the live generation, which at()
+// detects and discards — those generations simply build cold.
+func (c *artifactCache) note(parentGen, newGen uint64, added []string, invalid bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.pending != nil && c.pending.newGen == parentGen {
+		c.pending.newGen = newGen
+		c.pending.added = append(c.pending.added, added...)
+		c.pending.invalid = c.pending.invalid || invalid
+		return
+	}
+	c.pending = &delta{
+		parentGen: parentGen,
+		newGen:    newGen,
+		added:     append([]string(nil), added...),
+		invalid:   invalid,
+	}
 }
 
 // at must be called with db.mu held (read or write): the lock guarantees
 // the spatial instance — and therefore its generation — cannot move while
-// the clone is taken, which is what makes the frozen copy coherent.
+// the clone is taken, which is what makes the frozen copy coherent. When
+// the recorded delta connects the previous generation to this one as a
+// pure extension, the new genCache links to its parent for incremental
+// derivation; the parent's own link is cut, so the cache never retains
+// more than one superseded generation.
 func (c *artifactCache) at(gen uint64, in *spatial.Instance) *genCache {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if c.cur == nil || c.cur.gen != gen {
-		c.cur = &genCache{
+		g := &genCache{
 			gen:     gen,
 			in:      in.Clone(),
 			entries: make(map[artifactKey]*cacheEntry),
 		}
+		if p, d := c.cur, c.pending; p != nil && d != nil && !d.invalid &&
+			d.parentGen == p.gen && d.newGen == gen && len(d.added) > 0 {
+			g.parent = p
+			g.added = d.added
+			p.dropParent()
+		}
+		c.cur = g
+		c.pending = nil
 	}
 	return c.cur
+}
+
+// incrementalMax bounds the delta size (regions added since the parent
+// generation) the incremental arrangement path accepts; larger deltas —
+// or a zero setting — take the cold build.
+var incrementalMax atomic.Int64
+
+// defaultIncrementalMax balances the incremental path's per-region
+// bookkeeping against the cold build's economies of scale: far past the
+// point where single- and few-region serving batches land, far below
+// bulk-load territory.
+const defaultIncrementalMax = 64
+
+func init() { incrementalMax.Store(defaultIncrementalMax) }
+
+// SetIncrementalMax sets the largest number of added regions for which a
+// new generation derives its arrangement incrementally from the previous
+// generation instead of rebuilding cold, returning the previous setting.
+// 0 disables incremental maintenance entirely. The default is 64. Both
+// paths produce canonically identical artifacts; the knob exists for
+// benchmarks, equivalence tests, and workloads whose bulk batches are
+// better served cold.
+func SetIncrementalMax(n int) int { return int(incrementalMax.Swap(int64(n))) }
+
+// buildArrangement derives the generation's arrangement: incrementally
+// from the parent generation's materialized arrangement when the recorded
+// delta is a small pure extension, cold otherwise. Incremental failures
+// other than cancellation fall back to the cold build — Insert rejecting a
+// delta is a routing decision, never an error the caller sees.
+func (c *genCache) buildArrangement(ctx context.Context) (any, error) {
+	if parent, added := c.parentLink(); parent != nil &&
+		int64(len(added)) <= incrementalMax.Load() {
+		if v, ok := parent.completed(artifactKey{kind: arrangementKind}); ok {
+			a, err := arrange.Insert(ctx, v.(*arrange.Arrangement), c.in, added...)
+			if err == nil {
+				return a, nil
+			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
+		}
+	}
+	return arrange.BuildCtx(ctx, c.in)
 }
 
 // The typed accessors below are the only consumers of the cache. They are
 // Snapshot methods: every artifact derives from the snapshot's frozen
 // clone, never from the live instance.
 
-// arrangement returns the memoized cell complex of the snapshot.
+// arrangement returns the memoized cell complex of the snapshot, derived
+// incrementally from the parent generation when possible (see
+// buildArrangement). The build honors the first requester's ctx; a
+// canceled build vacates its slot, so later requesters rebuild.
 func (s *Snapshot) arrangement(ctx context.Context) (*arrange.Arrangement, error) {
 	v, err := s.c.get(ctx, artifactKey{kind: arrangementKind}, func() (any, error) {
-		return arrange.Build(s.c.in)
+		return s.c.buildArrangement(ctx)
 	})
 	if err != nil {
 		return nil, err
@@ -214,7 +370,11 @@ func (s *Snapshot) regionBoxes(ctx context.Context) ([]geom.Box, error) {
 }
 
 // relations returns the memoized all-pairs relation map. Callers must not
-// mutate it; the public AllRelations copies.
+// mutate it; the public AllRelations copies. When the generation extends a
+// parent whose relation table is already materialized, only the pairs
+// touching the added regions are classified — every pre-existing pair's
+// relation depends solely on the two unchanged regions and merges from the
+// parent table.
 func (s *Snapshot) relations(ctx context.Context) (map[[2]string]Relation, error) {
 	v, err := s.c.get(ctx, artifactKey{kind: relationsKind}, func() (any, error) {
 		a, err := s.arrangement(ctx)
@@ -224,6 +384,19 @@ func (s *Snapshot) relations(ctx context.Context) (map[[2]string]Relation, error
 		boxes, err := s.regionBoxes(ctx)
 		if err != nil {
 			return nil, err
+		}
+		if parent, added := s.c.parentLink(); parent != nil &&
+			int64(len(added)) <= incrementalMax.Load() {
+			if v, ok := parent.completed(artifactKey{kind: relationsKind}); ok {
+				addedIdx := make([]int, 0, len(added))
+				for _, n := range added {
+					addedIdx = append(addedIdx, a.RegionIndex(n))
+				}
+				m, err := fourint.AllPairsDelta(a, boxes, addedIdx, v.(map[[2]string]Relation))
+				if err == nil {
+					return m, nil
+				}
+			}
 		}
 		return fourint.AllPairsFromBoxes(a, boxes)
 	})

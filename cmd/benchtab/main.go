@@ -13,9 +13,10 @@
 //
 // With -compare FILE the bench artifact reruns the baseline and gates
 // every recorded speedup ratio against the committed document (used by
-// CI to track the bench trajectory across PRs):
+// CI to track the bench trajectory across PRs); -compare auto resolves
+// the newest committed BENCH_prN.json automatically:
 //
-//	benchtab -compare BENCH_pr2.json bench
+//	benchtab -compare auto bench
 package main
 
 import (
@@ -35,7 +36,7 @@ import (
 
 var (
 	jsonOut = flag.Bool("json", false, "emit the bench artifact as JSON")
-	compare = flag.String("compare", "", "gate the bench artifact against this committed BENCH_prN.json")
+	compare = flag.String("compare", "", "gate the bench artifact against this committed BENCH_prN.json (\"auto\" picks the newest)")
 )
 
 var sections map[string]func()

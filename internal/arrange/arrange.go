@@ -13,10 +13,12 @@
 package arrange
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/bits"
 	"sort"
+	"sync"
 
 	"topodb/internal/geom"
 	"topodb/internal/rat"
@@ -185,6 +187,27 @@ type Arrangement struct {
 	Exterior int // index of f0 in Faces
 
 	index map[string]int // name -> region index
+
+	// Construction caches, filled by both the cold build and Insert and
+	// reused by Insert when this arrangement is the parent of an
+	// incremental derivation: the face-walk table (walk id per half-edge,
+	// signed doubled area and minimal member half-edge per walk), the
+	// primary-walk bounding box per bounded face, and the bounding box of
+	// all vertices. walkMin is the walk's identity across generations: a
+	// walk untouched by a delta keeps its member half-edge ids, so equal
+	// walkMin means equal walk.
+	walkOf   []int32
+	walkArea []rat.R
+	walkMin  []int32
+	faceBox  []geom.Box
+	bbox     geom.Box
+
+	// loc is the lazily built point-location index (see locate.go).
+	loc struct {
+		once   sync.Once
+		tree   *geom.IntervalIndex
+		lo, hi []rat.R // per-edge x-extents the tree was built over
+	}
 }
 
 // RegionIndex returns the index of a region name, or -1.
@@ -202,7 +225,15 @@ func (a *Arrangement) Stats() (v, e, f int) {
 
 // Build computes the arrangement of all region boundaries of the instance.
 func Build(in *spatial.Instance) (*Arrangement, error) {
-	return BuildWithScaffold(in, nil)
+	return BuildWithScaffoldCtx(context.Background(), in, nil)
+}
+
+// BuildCtx is Build honoring ctx: the construction's hot loops (the
+// intersection sweep, face walks, nesting, labeling) poll the context and
+// abandon the build with the context's error once it fires, so a canceled
+// cold query stops burning CPU instead of running the build to completion.
+func BuildCtx(ctx context.Context, in *spatial.Instance) (*Arrangement, error) {
+	return BuildWithScaffoldCtx(ctx, in, nil)
 }
 
 // BuildWithScaffold computes the arrangement of the region boundaries plus
@@ -211,6 +242,11 @@ func Build(in *spatial.Instance) (*Arrangement, error) {
 // evaluator to refine the cell complex (finer cells admit more witness
 // regions) and by the S-invariant construction of Theorem 6.1.
 func BuildWithScaffold(in *spatial.Instance, scaffold []geom.Seg) (*Arrangement, error) {
+	return BuildWithScaffoldCtx(context.Background(), in, scaffold)
+}
+
+// BuildWithScaffoldCtx is BuildWithScaffold honoring ctx (see BuildCtx).
+func BuildWithScaffoldCtx(ctx context.Context, in *spatial.Instance, scaffold []geom.Seg) (*Arrangement, error) {
 	names := in.Names()
 	if len(names) == 0 {
 		return nil, fmt.Errorf("arrange: empty instance")
@@ -239,7 +275,10 @@ func BuildWithScaffold(in *spatial.Instance, scaffold []geom.Seg) (*Arrangement,
 	}
 
 	// 2. Split at all mutual intersections and deduplicate.
-	pieces := splitSegments(segs)
+	pieces, err := splitSegments(ctx, segs)
+	if err != nil {
+		return nil, err
+	}
 
 	// 3. Vertices & edges.
 	a.buildGraph(pieces)
@@ -251,13 +290,21 @@ func BuildWithScaffold(in *spatial.Instance, scaffold []geom.Seg) (*Arrangement,
 	a.buildComponents()
 
 	// 6. Face walks per component; global face merge via nesting.
-	a.buildFaces()
+	if err := a.buildFaces(ctx); err != nil {
+		return nil, err
+	}
 
 	// 7. Labels.
-	if err := a.labelCells(in); err != nil {
+	if err := a.labelCells(ctx, in); err != nil {
 		return nil, err
 	}
 	return a, nil
+}
+
+// canceled wraps a fired context's error so the build's caller sees both
+// the arrange origin and (via errors.Is) the underlying context cause.
+func canceled(ctx context.Context) error {
+	return fmt.Errorf("arrange: build canceled: %w", ctx.Err())
 }
 
 type ownedSeg struct {

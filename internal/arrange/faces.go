@@ -1,6 +1,7 @@
 package arrange
 
 import (
+	"context"
 	"fmt"
 
 	"topodb/internal/geom"
@@ -13,27 +14,38 @@ import (
 // component's outer walk, computes the nesting forest (which face each
 // component is embedded in, the paper's "embedded-in tree"), and merges
 // per-component faces into global faces with the single unbounded face f0.
-func (a *Arrangement) buildFaces() {
+// The walk table (walkOf/walkArea/walkMin) and per-face primary-walk boxes
+// are retained on the arrangement: Insert reuses them to recognize walks a
+// delta left untouched.
+func (a *Arrangement) buildFaces(ctx context.Context) error {
 	// 1. Trace walks.
 	type walkInfo struct {
 		start int
 		comp  int
 		area2 rat.R
 	}
-	walkOf := make([]int, len(a.Half))
+	walkOf := make([]int32, len(a.Half))
 	for i := range walkOf {
 		walkOf[i] = -1
 	}
 	var walks []walkInfo
+	a.walkMin = a.walkMin[:0]
 	for h := range a.Half {
 		if walkOf[h] != -1 {
 			continue
 		}
+		if h&255 == 0 && ctx.Err() != nil {
+			return canceled(ctx)
+		}
 		wi := len(walks)
 		area := rat.Zero
+		minH := h
 		for cur := h; ; {
-			walkOf[cur] = wi
+			walkOf[cur] = int32(wi)
 			a.Half[cur].walk = wi
+			if cur < minH {
+				minH = cur
+			}
 			o := a.Verts[a.Half[cur].Origin].P
 			d := a.Verts[a.Head(cur)].P
 			area = area.Add(geom.Cross(o, d))
@@ -43,13 +55,18 @@ func (a *Arrangement) buildFaces() {
 			}
 		}
 		walks = append(walks, walkInfo{h, a.Verts[a.Half[h].Origin].Comp, area})
+		a.walkMin = append(a.walkMin, int32(minH))
+	}
+	a.walkOf = walkOf
+	a.walkArea = make([]rat.R, len(walks))
+	for wi, w := range walks {
+		a.walkArea[wi] = w.area2
 	}
 
 	// 2. Outer walk per component: the unique negative-area walk.
-	for wi, w := range walks {
+	for _, w := range walks {
 		if w.area2.Sign() < 0 {
 			a.Comps[w.comp].OuterWalk = w.start
-			_ = wi
 		}
 	}
 
@@ -80,14 +97,17 @@ func (a *Arrangement) buildFaces() {
 	// outside the box cannot be enclosed by the walk, which in scatter- and
 	// grid-like instances rejects almost every (component, face) pair with
 	// four comparisons.
-	walkBoxes := make([]geom.Box, len(a.Faces))
+	a.faceBox = make([]geom.Box, len(a.Faces))
 	for fi := range a.Faces {
 		f := &a.Faces[fi]
 		if f.Bounded {
-			walkBoxes[fi] = a.walkBox(f.Walks[0])
+			a.faceBox[fi] = a.walkBox(f.Walks[0])
 		}
 	}
 	for ci := range a.Comps {
+		if ci&63 == 0 && ctx.Err() != nil {
+			return canceled(ctx)
+		}
 		p := a.Verts[a.Comps[ci].RootVertex].P
 		best := -1
 		var bestArea rat.R
@@ -96,7 +116,7 @@ func (a *Arrangement) buildFaces() {
 			if !f.Bounded || f.Comp == ci {
 				continue
 			}
-			if !walkBoxes[fi].ContainsPt(p) {
+			if !a.faceBox[fi].ContainsPt(p) {
 				continue
 			}
 			if !a.walkContains(f.Walks[0], p) {
@@ -121,6 +141,7 @@ func (a *Arrangement) buildFaces() {
 	for h := range a.Half {
 		a.Half[h].Face = faceOfWalk[walkOf[h]]
 	}
+	return nil
 }
 
 // walkEdges returns the directed half-edges of the walk starting at h.
@@ -173,13 +194,14 @@ func (a *Arrangement) walkContains(h int, p geom.Pt) bool {
 func leftNormal(v geom.Pt) geom.Pt { return geom.Pt{X: v.Y.Neg(), Y: v.X} }
 
 // sampleFace computes a point strictly inside each face.
-func (a *Arrangement) sampleFaces() error {
+func (a *Arrangement) sampleFaces(ctx context.Context) error {
 	box := geom.BoxOf(a.Verts[0].P)
 	for _, v := range a.Verts[1:] {
 		box = box.Union(geom.BoxOf(v.P))
 	}
+	a.bbox = box
 	errs := make([]error, len(a.Faces))
-	par.For(len(a.Faces), func(fi int) {
+	if err := par.ForCtx(ctx, len(a.Faces), func(fi int) {
 		f := &a.Faces[fi]
 		if !f.Bounded {
 			f.Sample = geom.Pt{X: box.MaxX.Add(rat.One), Y: box.MaxY.Add(rat.One)}
@@ -191,7 +213,9 @@ func (a *Arrangement) sampleFaces() error {
 			return
 		}
 		f.Sample = s
-	})
+	}); err != nil {
+		return canceled(ctx)
+	}
 	return firstErr(errs)
 }
 
@@ -265,8 +289,8 @@ func (a *Arrangement) samplePastHalfEdge(h int, box geom.Box, walks []int) (geom
 // labels are identical to the exhaustive scan's. Labels land in
 // preallocated slots and errors are collected per cell, so the result (and
 // the first reported error) is deterministic.
-func (a *Arrangement) labelCells(in *spatial.Instance) error {
-	if err := a.sampleFaces(); err != nil {
+func (a *Arrangement) labelCells(ctx context.Context, in *spatial.Instance) error {
+	if err := a.sampleFaces(ctx); err != nil {
 		return err
 	}
 	nR := len(a.Names)
@@ -293,7 +317,7 @@ func (a *Arrangement) labelCells(in *spatial.Instance) error {
 	}
 	cands := geom.StabBoxes(pts, boxes)
 	labels := make([]Label, len(pts))
-	par.For(len(pts), func(k int) {
+	if err := par.ForCtx(ctx, len(pts), func(k int) {
 		l := make(Label, nR)
 		for _, ri := range cands[k] {
 			switch geom.RingContains(rings[ri], pts[k]) {
@@ -304,7 +328,9 @@ func (a *Arrangement) labelCells(in *spatial.Instance) error {
 			}
 		}
 		labels[k] = l
-	})
+	}); err != nil {
+		return canceled(ctx)
+	}
 	for fi := range a.Faces {
 		f := &a.Faces[fi]
 		f.Label = labels[fi]
@@ -344,9 +370,12 @@ func firstErr(errs []error) error {
 	return nil
 }
 
-// FaceOfPoint returns the index of the face containing p, or an error if p
-// lies on the skeleton.
-func (a *Arrangement) FaceOfPoint(p geom.Pt) (int, error) {
+// FaceOfPointScan is the linear-scan reference for FaceOfPoint: every edge
+// tested for incidence, every bounded face for enclosure. It exists for the
+// equivalence property tests and benchmarks against the indexed path; use
+// FaceOfPoint, which answers the same queries through the persistent
+// x-interval index in O(log E + candidates).
+func (a *Arrangement) FaceOfPointScan(p geom.Pt) (int, error) {
 	for ei := range a.Edges {
 		e := a.Edges[ei]
 		if (geom.Seg{A: a.Verts[e.V1].P, B: a.Verts[e.V2].P}).Contains(p) {

@@ -1,0 +1,1044 @@
+package arrange
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"topodb/internal/geom"
+	"topodb/internal/rat"
+	"topodb/internal/spatial"
+)
+
+// Insert derives the arrangement of in — which must extend the parent
+// arrangement's instance by exactly the named added regions, leaving every
+// pre-existing region's extent untouched — from parent, doing heavy
+// (exact-arithmetic) work proportional to the delta rather than the
+// instance:
+//
+//   - the intersection sweep runs only over the new regions' segments plus
+//     the parent edges whose boxes meet the delta's bounding box, and only
+//     pairs involving a new segment are tested exactly;
+//   - intersected parent edges are re-split in place (the first sub-piece
+//     reuses the edge's slot and the half-edge originating at each old
+//     endpoint, so untouched vertices keep their rotation order verbatim);
+//   - face walks are retraced by cheap pointer chasing, and walks without a
+//     touched half-edge inherit their parent walk's area, box, face sample
+//     and face label wholesale — only faces stabbed or cut by the delta pay
+//     exact ray casts and point locations;
+//   - cell labels are extended in place: every cell keeps its old-region
+//     signs (copied from the parent cell it came from, found through the
+//     parent's persistent point-location index when provenance alone does
+//     not determine it) and gains signs only for the added regions.
+//
+// The result is a fresh Arrangement — parent is never mutated and stays
+// valid (snapshots of older generations keep reading it). Cell indices may
+// differ from a cold Build of in, but the complex is geometrically
+// identical cell for cell, so every canonical encoding derived from it is
+// byte-identical to the cold build's (property-tested across the workload
+// generators).
+//
+// Insert fails (and the caller should fall back to a cold build) when the
+// delta is not a pure extension: an added name already present in parent,
+// a pre-existing name missing from in, or region counts beyond MaxRegions.
+func Insert(ctx context.Context, parent *Arrangement, in *spatial.Instance, added ...string) (*Arrangement, error) {
+	if parent == nil || len(added) == 0 {
+		return nil, fmt.Errorf("arrange: Insert needs a parent and at least one added region")
+	}
+	if parent.walkOf == nil || parent.faceBox == nil {
+		return nil, fmt.Errorf("arrange: Insert parent lacks construction caches")
+	}
+	names := in.Names()
+	if len(names) != len(parent.Names)+len(added) {
+		return nil, fmt.Errorf("arrange: Insert delta mismatch: %d = %d parent + %d added regions",
+			len(names), len(parent.Names), len(added))
+	}
+	if len(names) > MaxRegions {
+		return nil, fmt.Errorf("arrange: %w: %d regions exceed the %d-region owner set",
+			ErrTooManyRegions, len(names), MaxRegions)
+	}
+	for _, n := range added {
+		if _, ok := parent.index[n]; ok {
+			return nil, fmt.Errorf("arrange: Insert: region %q replaces a parent region", n)
+		}
+		if _, ok := in.Ext(n); !ok {
+			return nil, fmt.Errorf("arrange: Insert: added region %q missing from instance", n)
+		}
+	}
+	for _, n := range parent.Names {
+		if _, ok := in.Ext(n); !ok {
+			return nil, fmt.Errorf("arrange: Insert: parent region %q missing from instance", n)
+		}
+	}
+
+	ins := &inserter{parent: parent, in: in}
+	return ins.run(ctx, added)
+}
+
+// inserter carries the state of one incremental derivation.
+type inserter struct {
+	parent *Arrangement
+	in     *spatial.Instance
+	b      *Arrangement
+
+	remap    []int // parent region index -> new region index
+	identity bool  // remap is the identity (added names sort last)
+	addedIdx []int // new region indices of the added regions, ascending
+
+	oldVerts, oldEdges, oldHalf int // parent array lengths
+
+	newSegs  []ownedSeg // the added regions' boundary segments
+	deltaBox geom.Box   // union box of newSegs
+
+	vmap        map[string]int   // point key -> vertex index (delta area only)
+	edgeAt      map[[2]int32]int // (vmin,vmax) -> edge index (delta area only)
+	touched     []bool           // vertex gained/lost incident halves
+	edgeProv    []int32          // edge -> parent edge it is a piece of, or -1
+	dirtyH      []bool           // half-edge whose walk may have changed
+	walkDirty   []bool           // walk contains a dirty half-edge
+	cleanFaceOf []int            // new face -> parent face it equals, or -1
+	compChanged []bool           // new comp -> delta touched it
+}
+
+func (s *inserter) run(ctx context.Context, added []string) (*Arrangement, error) {
+	parent, in := s.parent, s.in
+	names := in.Names()
+
+	s.b = &Arrangement{Names: names, index: make(map[string]int, len(names))}
+	b := s.b
+	for i, n := range names {
+		b.index[n] = i
+	}
+	s.remap = make([]int, len(parent.Names))
+	s.identity = true
+	for i, n := range parent.Names {
+		s.remap[i] = b.index[n]
+		if s.remap[i] != i {
+			s.identity = false
+		}
+	}
+	s.addedIdx = make([]int, 0, len(added))
+	for _, n := range added {
+		s.addedIdx = append(s.addedIdx, b.index[n])
+	}
+	sort.Ints(s.addedIdx)
+
+	// Collect the delta's segments (in ascending new-index order, like the
+	// cold build's collection pass).
+	for _, ri := range s.addedIdx {
+		r := in.MustExt(names[ri])
+		for _, seg := range r.Boundary() {
+			if seg.IsDegenerate() {
+				return nil, fmt.Errorf("arrange: degenerate boundary segment at %s", seg.A)
+			}
+			s.newSegs = append(s.newSegs, ownedSeg{seg, Owners{}.With(ri)})
+		}
+	}
+	s.deltaBox = geom.SegBox(s.newSegs[0].s)
+	for _, sg := range s.newSegs[1:] {
+		s.deltaBox = s.deltaBox.Union(geom.SegBox(sg.s))
+	}
+
+	// Copy the parent complex. Slices inside vertices (rotation orders)
+	// are shared copy-on-write: only touched vertices get fresh ones.
+	s.oldVerts, s.oldEdges, s.oldHalf = len(parent.Verts), len(parent.Edges), len(parent.Half)
+	b.Verts = append(make([]Vertex, 0, s.oldVerts+8), parent.Verts...)
+	b.Edges = append(make([]Edge, 0, s.oldEdges+16), parent.Edges...)
+	b.Half = append(make([]HalfEdge, 0, s.oldHalf+32), parent.Half...)
+	s.touched = make([]bool, s.oldVerts)
+	s.edgeProv = make([]int32, s.oldEdges)
+	for i := range s.edgeProv {
+		s.edgeProv[i] = int32(i)
+	}
+	if !s.identity {
+		for ei := range b.Edges {
+			b.Edges[ei].Owners = s.remapOwners(b.Edges[ei].Owners)
+		}
+	}
+
+	// Index the delta neighborhood: vertices inside the delta box (every
+	// endpoint of every new piece lands there) and their incident edges
+	// (the only old edges a new piece can coincide with).
+	s.vmap = make(map[string]int)
+	s.edgeAt = make(map[[2]int32]int)
+	for vi := 0; vi < s.oldVerts; vi++ {
+		if !s.deltaBox.ContainsPt(b.Verts[vi].P) {
+			continue
+		}
+		s.vmap[b.Verts[vi].P.Key()] = vi
+		for _, h := range b.Verts[vi].Out {
+			ei := b.Half[h].Edge
+			e := &b.Edges[ei]
+			s.edgeAt[ekey(e.V1, e.V2)] = ei
+		}
+	}
+
+	// Delta-restricted cut discovery, then the surgery itself.
+	oldCuts, newCuts, err := s.findDeltaCuts(ctx)
+	if err != nil {
+		return nil, err
+	}
+	gained := make(map[int][]int) // vertex -> half-edges gained
+	s.cutOldEdges(oldCuts, gained)
+	s.insertNewPieces(newCuts, gained)
+
+	if ctx.Err() != nil {
+		return nil, canceled(ctx)
+	}
+
+	// Rotation: only touched vertices re-sort; everyone's Next pointers
+	// are rebuilt (cheap integer writes), and the halves whose walk could
+	// have moved are marked dirty.
+	s.rebuildRotation(gained)
+
+	// Components, walks, faces, nesting, samples, labels.
+	s.rebuildComponents(gained)
+	if err := s.rebuildFaces(ctx); err != nil {
+		return nil, err
+	}
+	if err := s.rebuildLabels(ctx); err != nil {
+		return nil, err
+	}
+	return b, nil
+}
+
+// ekey is the canonical map key of an edge's endpoint pair.
+func ekey(v1, v2 int) [2]int32 {
+	if v1 > v2 {
+		v1, v2 = v2, v1
+	}
+	return [2]int32{int32(v1), int32(v2)}
+}
+
+// remapOwners rewrites an owner set from parent region indices to new ones.
+func (s *inserter) remapOwners(o Owners) Owners {
+	var out Owners
+	for i := range s.remap {
+		if o.Has(i) {
+			out = out.With(s.remap[i])
+		}
+	}
+	return out
+}
+
+// remapLabel copies a parent label into dst at the remapped indices; added
+// regions' slots keep their zero (Exterior) value for the caller to fill.
+func (s *inserter) remapLabel(dst Label, l Label) {
+	if s.identity {
+		copy(dst, l)
+		return
+	}
+	for i, sign := range l {
+		dst[s.remap[i]] = sign
+	}
+}
+
+// findDeltaCuts sweeps the new segments plus the parent edges whose boxes
+// meet the delta box, testing exactly the candidate pairs that involve at
+// least one new segment (parent edges are already mutually interior-
+// disjoint). It returns the cut points discovered on parent edges (by edge
+// index) and on new segments (by segment index, seeded with endpoints).
+func (s *inserter) findDeltaCuts(ctx context.Context) (map[int][]geom.Pt, [][]geom.Pt, error) {
+	b := s.b
+	type partic struct {
+		idx   int32 // edge index or new-segment index
+		isNew bool
+		box   geom.Box
+		seg   geom.Seg
+	}
+	var parts []partic
+	for ei := 0; ei < s.oldEdges; ei++ {
+		e := &b.Edges[ei]
+		p1, p2 := b.Verts[e.V1].P, b.Verts[e.V2].P
+		// Cheap reject against the delta box before materializing the
+		// segment's own box: both endpoints on one outside of it means the
+		// edge cannot meet any new segment.
+		if (p1.X.Less(s.deltaBox.MinX) && p2.X.Less(s.deltaBox.MinX)) ||
+			(s.deltaBox.MaxX.Less(p1.X) && s.deltaBox.MaxX.Less(p2.X)) ||
+			(p1.Y.Less(s.deltaBox.MinY) && p2.Y.Less(s.deltaBox.MinY)) ||
+			(s.deltaBox.MaxY.Less(p1.Y) && s.deltaBox.MaxY.Less(p2.Y)) {
+			continue
+		}
+		sg := geom.Seg{A: p1, B: p2}
+		parts = append(parts, partic{int32(ei), false, geom.SegBox(sg), sg})
+	}
+	for si, sg := range s.newSegs {
+		parts = append(parts, partic{int32(si), true, geom.SegBox(sg.s), sg.s})
+	}
+	sort.Slice(parts, func(a, c int) bool {
+		if cmp := parts[a].box.MinX.Cmp(parts[c].box.MinX); cmp != 0 {
+			return cmp < 0
+		}
+		if parts[a].isNew != parts[c].isNew {
+			return !parts[a].isNew
+		}
+		return parts[a].idx < parts[c].idx
+	})
+
+	oldCuts := make(map[int][]geom.Pt)
+	newCuts := make([][]geom.Pt, len(s.newSegs))
+	for si := range s.newSegs {
+		newCuts[si] = append(newCuts[si], s.newSegs[si].s.A, s.newSegs[si].s.B)
+	}
+	record := func(p *partic, pt geom.Pt) {
+		if p.isNew {
+			newCuts[p.idx] = append(newCuts[p.idx], pt)
+		} else {
+			oldCuts[int(p.idx)] = append(oldCuts[int(p.idx)], pt)
+		}
+	}
+	active := make([]int, 0, 64)
+	for step := range parts {
+		if step&255 == 0 && ctx.Err() != nil {
+			return nil, nil, canceled(ctx)
+		}
+		pi := &parts[step]
+		kept := active[:0]
+		for _, j := range active {
+			pj := &parts[j]
+			if pj.box.MaxX.Cmp(pi.box.MinX) < 0 {
+				continue // retired by the sweep line
+			}
+			kept = append(kept, j)
+			if !pi.isNew && !pj.isNew {
+				continue // parent edges never cut each other
+			}
+			if pj.box.MinY.Cmp(pi.box.MaxY) > 0 || pi.box.MinY.Cmp(pj.box.MaxY) > 0 {
+				continue
+			}
+			inter := geom.IntersectPrefiltered(pi.seg, pj.seg)
+			switch inter.Kind {
+			case geom.PointIntersection:
+				record(pi, inter.P)
+				record(pj, inter.P)
+			case geom.OverlapIntersection:
+				record(pi, inter.P)
+				record(pi, inter.Q)
+				record(pj, inter.P)
+				record(pj, inter.Q)
+			}
+		}
+		active = append(kept, step)
+	}
+	return oldCuts, newCuts, nil
+}
+
+// getV returns the vertex at p, creating it when the delta introduces it.
+// Every point passed here lies inside the delta box, so the pre-seeded
+// vmap covers all coincidences with parent vertices.
+func (s *inserter) getV(p geom.Pt, gained map[int][]int) int {
+	k := p.Key()
+	if vi, ok := s.vmap[k]; ok {
+		return vi
+	}
+	vi := len(s.b.Verts)
+	s.vmap[k] = vi
+	s.b.Verts = append(s.b.Verts, Vertex{P: p})
+	s.touched = append(s.touched, true)
+	gained[vi] = nil
+	return vi
+}
+
+// sortChain orders a collinear cut-point multiset along the segment
+// heading from 'from' to 'to', dropping duplicates. Collinear points are
+// totally ordered lexicographically, so ascending order matches one of the
+// two directions; the result is reversed when that direction is to→from.
+func sortChain(pts []geom.Pt, from, to geom.Pt) []geom.Pt {
+	sort.Slice(pts, func(a, b int) bool { return pts[a].Cmp(pts[b]) < 0 })
+	dedup := pts[:0]
+	for _, p := range pts {
+		if len(dedup) == 0 || !dedup[len(dedup)-1].Equal(p) {
+			dedup = append(dedup, p)
+		}
+	}
+	if from.Cmp(to) > 0 {
+		for i, j := 0, len(dedup)-1; i < j; i, j = i+1, j-1 {
+			dedup[i], dedup[j] = dedup[j], dedup[i]
+		}
+	}
+	return dedup
+}
+
+// cutOldEdges re-splits every intersected parent edge in place: the first
+// sub-piece keeps the edge slot and the half-edge originating at V1, the
+// last keeps the half-edge originating at V2 (so both old endpoints keep
+// their rotation entries and ordering verbatim), and interior sub-pieces
+// are appended. Interior cut points become fresh touched vertices.
+func (s *inserter) cutOldEdges(oldCuts map[int][]geom.Pt, gained map[int][]int) {
+	b := s.b
+	eis := make([]int, 0, len(oldCuts))
+	for ei := range oldCuts {
+		eis = append(eis, ei)
+	}
+	sort.Ints(eis)
+	for _, ei := range eis {
+		e := b.Edges[ei]
+		pa, pb := b.Verts[e.V1].P, b.Verts[e.V2].P
+		interior := oldCuts[ei][:0]
+		for _, p := range oldCuts[ei] {
+			if !p.Equal(pa) && !p.Equal(pb) {
+				interior = append(interior, p)
+			}
+		}
+		if len(interior) == 0 {
+			continue
+		}
+		chain := sortChain(interior, pa, pb)
+		// Vertex chain V1, w1..wk, V2.
+		vs := make([]int, 0, len(chain)+2)
+		vs = append(vs, e.V1)
+		for _, p := range chain {
+			vs = append(vs, s.getV(p, gained))
+		}
+		vs = append(vs, e.V2)
+		k := len(vs) - 2 // interior vertex count, >= 1
+
+		delete(s.edgeAt, ekey(e.V1, e.V2))
+		h1, h2 := e.H1, e.H2
+
+		// First sub-piece reuses slot ei and half h1.
+		nh0 := len(b.Half)
+		b.Half = append(b.Half, HalfEdge{Edge: ei, Origin: vs[1], Twin: h1, Next: -1, Face: -1})
+		b.Half[h1].Twin = nh0
+		b.Edges[ei] = Edge{V1: e.V1, V2: vs[1], Owners: e.Owners, H1: h1, H2: nh0}
+		s.edgeAt[ekey(e.V1, vs[1])] = ei
+		gained[vs[1]] = append(gained[vs[1]], nh0)
+
+		// Interior sub-pieces.
+		for j := 1; j < k; j++ {
+			ne := len(b.Edges)
+			hA, hB := len(b.Half), len(b.Half)+1
+			b.Edges = append(b.Edges, Edge{V1: vs[j], V2: vs[j+1], Owners: e.Owners, H1: hA, H2: hB})
+			b.Half = append(b.Half,
+				HalfEdge{Edge: ne, Origin: vs[j], Twin: hB, Next: -1, Face: -1},
+				HalfEdge{Edge: ne, Origin: vs[j+1], Twin: hA, Next: -1, Face: -1},
+			)
+			s.edgeProv = append(s.edgeProv, int32(ei))
+			s.edgeAt[ekey(vs[j], vs[j+1])] = ne
+			gained[vs[j]] = append(gained[vs[j]], hA)
+			gained[vs[j+1]] = append(gained[vs[j+1]], hB)
+		}
+
+		// Last sub-piece reuses half h2.
+		ne := len(b.Edges)
+		hL := len(b.Half)
+		b.Half = append(b.Half, HalfEdge{Edge: ne, Origin: vs[k], Twin: h2, Next: -1, Face: -1})
+		b.Edges = append(b.Edges, Edge{V1: vs[k], V2: e.V2, Owners: e.Owners, H1: hL, H2: h2})
+		b.Half[h2].Edge = ne
+		b.Half[h2].Twin = hL
+		s.edgeProv = append(s.edgeProv, int32(ei))
+		s.edgeAt[ekey(vs[k], e.V2)] = ne
+		gained[vs[k]] = append(gained[vs[k]], hL)
+	}
+}
+
+// insertNewPieces materializes the new segments' sub-pieces: pieces
+// coincident with an existing (possibly just re-split) edge merge their
+// owner set into it; everything else becomes a fresh edge whose endpoints
+// gain rotation entries.
+func (s *inserter) insertNewPieces(newCuts [][]geom.Pt, gained map[int][]int) {
+	b := s.b
+	for si := range newCuts {
+		own := s.newSegs[si].o
+		chain := sortChain(newCuts[si], s.newSegs[si].s.A, s.newSegs[si].s.B)
+		for j := 0; j+1 < len(chain); j++ {
+			va := s.getV(chain[j], gained)
+			vb := s.getV(chain[j+1], gained)
+			key := ekey(va, vb)
+			if ei, ok := s.edgeAt[key]; ok {
+				b.Edges[ei].Owners = b.Edges[ei].Owners.Union(own)
+				continue
+			}
+			ei := len(b.Edges)
+			hA, hB := len(b.Half), len(b.Half)+1
+			b.Edges = append(b.Edges, Edge{V1: va, V2: vb, Owners: own, H1: hA, H2: hB})
+			b.Half = append(b.Half,
+				HalfEdge{Edge: ei, Origin: va, Twin: hB, Next: -1, Face: -1},
+				HalfEdge{Edge: ei, Origin: vb, Twin: hA, Next: -1, Face: -1},
+			)
+			s.edgeProv = append(s.edgeProv, -1)
+			s.edgeAt[key] = ei
+			gained[va] = append(gained[va], hA)
+			gained[vb] = append(gained[vb], hB)
+			if va < s.oldVerts {
+				s.touched[va] = true
+			}
+			if vb < s.oldVerts {
+				s.touched[vb] = true
+			}
+		}
+	}
+}
+
+// rebuildRotation re-sorts the rotation order of touched vertices (their
+// parent entries stay valid — re-split edges keep the half originating at
+// each old endpoint, pointing the same direction), rebuilds every Next
+// pointer from the rotation orders, and marks the half-edges whose walks
+// could have changed: new halves plus both directions at touched vertices.
+func (s *inserter) rebuildRotation(gained map[int][]int) {
+	b := s.b
+	for vi, halves := range gained {
+		var out []int
+		if vi < s.oldVerts {
+			s.touched[vi] = true
+			out = append(append(make([]int, 0, len(s.parent.Verts[vi].Out)+len(halves)),
+				s.parent.Verts[vi].Out...), halves...)
+		} else {
+			out = halves
+		}
+		sort.Slice(out, func(i, j int) bool {
+			return geom.AngleLess(b.dir(out[i]), b.dir(out[j]))
+		})
+		b.Verts[vi].Out = out
+	}
+	for vi := range b.Verts {
+		out := b.Verts[vi].Out
+		for k, h := range out {
+			pred := out[(k-1+len(out))%len(out)]
+			b.Half[b.Half[h].Twin].Next = pred
+		}
+	}
+	s.dirtyH = make([]bool, len(b.Half))
+	for h := s.oldHalf; h < len(b.Half); h++ {
+		s.dirtyH[h] = true
+	}
+	for vi, t := range s.touched {
+		if !t {
+			continue
+		}
+		for _, h := range b.Verts[vi].Out {
+			s.dirtyH[h] = true
+			s.dirtyH[b.Half[h].Twin] = true
+		}
+	}
+}
+
+// rebuildComponents derives the component partition incrementally. A
+// delta can only merge parent components (a new edge bridging them),
+// extend them (cut vertices, attached new boundary), or create new ones —
+// never split one, since Insert never removes a cell. A union-find over
+// parent components plus new vertices, driven by the edges incident to
+// vertices that gained rotation entries (every connectivity change is),
+// yields the new partition; groups the delta never touched adopt their
+// parent Component wholesale (member lists aliased, ids compacted), and
+// only changed groups pay a traversal.
+func (s *inserter) rebuildComponents(gained map[int][]int) {
+	b, parent := s.b, s.parent
+	nPC := len(parent.Comps)
+	n := nPC + len(b.Verts) - s.oldVerts
+	uf := make([]int32, n)
+	for i := range uf {
+		uf[i] = int32(i)
+	}
+	find := func(x int32) int32 {
+		for uf[x] != x {
+			uf[x] = uf[uf[x]]
+			x = uf[x]
+		}
+		return x
+	}
+	node := func(vi int) int32 {
+		if vi < s.oldVerts {
+			return int32(parent.Verts[vi].Comp)
+		}
+		return int32(nPC + vi - s.oldVerts)
+	}
+	edgeDirty := make([]bool, nPC)
+	for _, halves := range gained {
+		for _, h := range halves {
+			e := &b.Edges[b.Half[h].Edge]
+			na, nc := find(node(e.V1)), find(node(e.V2))
+			if na != nc {
+				if nc < na {
+					na, nc = nc, na
+				}
+				uf[nc] = na // smaller root wins: order-independent result
+			}
+			if e.V1 < s.oldVerts {
+				edgeDirty[parent.Verts[e.V1].Comp] = true
+			}
+			if e.V2 < s.oldVerts {
+				edgeDirty[parent.Verts[e.V2].Comp] = true
+			}
+		}
+	}
+
+	// A group changed when it merged, contains a new vertex, or one of its
+	// parent components gained a (new or re-split) incident edge.
+	changedRoot := make([]bool, n)
+	memberCount := make([]int32, n)
+	for i := 0; i < n; i++ {
+		memberCount[find(int32(i))]++
+	}
+	for i := 0; i < n; i++ {
+		r := find(int32(i))
+		if memberCount[r] > 1 || i >= nPC || edgeDirty[i] {
+			changedRoot[r] = true
+		}
+	}
+
+	// Compact ids in first-touch order: parent components, then new
+	// vertices. Unchanged groups adopt the parent component; a shifted id
+	// rewrites only that component's membership stamps.
+	newID := make([]int32, n)
+	for i := range newID {
+		newID[i] = -1
+	}
+	b.Comps = make([]Component, 0, nPC+1)
+	s.compChanged = s.compChanged[:0]
+	assign := func(nodeIdx int32) int32 {
+		r := find(nodeIdx)
+		if newID[r] != -1 {
+			return newID[r]
+		}
+		id := int32(len(b.Comps))
+		newID[r] = id
+		b.Comps = append(b.Comps, Component{ParentFace: -1})
+		s.compChanged = append(s.compChanged, changedRoot[r])
+		return id
+	}
+	for pc := 0; pc < nPC; pc++ {
+		id := assign(int32(pc))
+		if !changedRoot[find(int32(pc))] {
+			c := parent.Comps[pc]
+			c.ParentFace = -1
+			b.Comps[id] = c
+			if int(id) != pc {
+				for _, vi := range c.Verts {
+					b.Verts[vi].Comp = int(id)
+				}
+			}
+		}
+	}
+	for vi := s.oldVerts; vi < len(b.Verts); vi++ {
+		assign(node(vi))
+	}
+
+	// Changed groups: traverse once each from the smallest member vertex
+	// (the root the cold DFS would pick).
+	seed := make([]int, len(b.Comps))
+	for i := range seed {
+		seed[i] = -1
+	}
+	for pc := 0; pc < nPC; pc++ {
+		r := find(int32(pc))
+		if !changedRoot[r] {
+			continue
+		}
+		id := newID[r]
+		if rv := parent.Comps[pc].RootVertex; seed[id] == -1 || rv < seed[id] {
+			seed[id] = rv
+		}
+	}
+	for vi := s.oldVerts; vi < len(b.Verts); vi++ {
+		id := newID[find(node(vi))]
+		if seed[id] == -1 || vi < seed[id] {
+			seed[id] = vi
+		}
+	}
+	visited := make([]bool, len(b.Verts))
+	var stack []int
+	for id := range b.Comps {
+		if !s.compChanged[id] {
+			continue
+		}
+		c := Component{RootVertex: seed[id], ParentFace: -1}
+		stack = append(stack[:0], seed[id])
+		visited[seed[id]] = true
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			c.Verts = append(c.Verts, v)
+			b.Verts[v].Comp = id
+			for _, h := range b.Verts[v].Out {
+				if w := b.Head(h); !visited[w] {
+					visited[w] = true
+					stack = append(stack, w)
+				}
+			}
+		}
+		b.Comps[id] = c
+	}
+	// Edge membership: one integer pass stamps every edge and fills the
+	// changed components' edge lists (unchanged ones alias their parent
+	// list, whose contents are still exact — no member was cut or added).
+	for ei := range b.Edges {
+		e := &b.Edges[ei]
+		id := b.Verts[e.V1].Comp
+		e.Comp = id
+		if s.compChanged[id] {
+			c := &b.Comps[id]
+			c.Edges = append(c.Edges, ei)
+		}
+	}
+}
+
+// rebuildFaces retraces every walk (cheap pointer chasing), reusing the
+// parent's area, box, sample and identity for walks without a dirty half-
+// edge, then recreates the face set and the nesting forest. Only
+// components touched by the delta — or standing inside a face the delta
+// changed — pay exact containment tests; every other component keeps its
+// parent nesting.
+func (s *inserter) rebuildFaces(ctx context.Context) error {
+	b, parent := s.b, s.parent
+
+	// 1. Trace walks.
+	walkOf := make([]int32, len(b.Half))
+	for i := range walkOf {
+		walkOf[i] = -1
+	}
+	nW := len(parent.walkMin) + 8
+	walkStart := make([]int, 0, nW)
+	walkDirty := make([]bool, 0, nW)
+	b.walkMin = make([]int32, 0, nW)
+	b.walkArea = make([]rat.R, 0, nW)
+	var members []int
+	for h := range b.Half {
+		if walkOf[h] != -1 {
+			continue
+		}
+		if h&255 == 0 && ctx.Err() != nil {
+			return canceled(ctx)
+		}
+		wi := len(walkStart)
+		minH := h
+		dirty := false
+		members = members[:0]
+		for cur := h; ; {
+			walkOf[cur] = int32(wi)
+			b.Half[cur].walk = wi
+			if cur < minH {
+				minH = cur
+			}
+			dirty = dirty || s.dirtyH[cur]
+			members = append(members, cur)
+			cur = b.Half[cur].Next
+			if cur == h {
+				break
+			}
+		}
+		var area rat.R
+		if !dirty {
+			area = parent.walkArea[parent.walkOf[h]]
+		} else {
+			area = rat.Zero
+			for _, cur := range members {
+				o := b.Verts[b.Half[cur].Origin].P
+				d := b.Verts[b.Head(cur)].P
+				area = area.Add(geom.Cross(o, d))
+			}
+		}
+		walkStart = append(walkStart, h)
+		walkDirty = append(walkDirty, dirty)
+		b.walkMin = append(b.walkMin, int32(minH))
+		b.walkArea = append(b.walkArea, area)
+	}
+	b.walkOf = walkOf
+	s.walkDirty = walkDirty
+
+	// 2. Outer walks; rebuildComponents already knows which components the
+	// delta touched.
+	compDirty := s.compChanged
+	for wi, start := range walkStart {
+		if b.walkArea[wi].Sign() < 0 {
+			b.Comps[b.Verts[b.Half[start].Origin].Comp].OuterWalk = start
+		}
+	}
+
+	// 3. Faces from positive walks; clean ones mapped to their parent face.
+	faceOfWalk := make([]int, len(walkStart))
+	for i := range faceOfWalk {
+		faceOfWalk[i] = -1
+	}
+	nPF := len(parent.Faces) + 4
+	faceMap := make(map[int]int, nPF) // parent face -> new face
+	cleanFace := make([]int, 0, nPF)  // new face -> parent face or -1
+	b.Faces = make([]Face, 0, nPF)
+	b.faceBox = make([]geom.Box, 0, nPF)
+	for wi, start := range walkStart {
+		if b.walkArea[wi].Sign() <= 0 {
+			continue
+		}
+		fi := len(b.Faces)
+		faceOfWalk[wi] = fi
+		b.Faces = append(b.Faces, Face{
+			Walks:   []int{start},
+			Bounded: true,
+			Comp:    b.Verts[b.Half[start].Origin].Comp,
+			Area2:   b.walkArea[wi],
+		})
+		if !walkDirty[wi] {
+			pf := parent.Half[start].Face
+			faceMap[pf] = fi
+			cleanFace = append(cleanFace, pf)
+			b.faceBox = append(b.faceBox, parent.faceBox[pf])
+			b.Faces[fi].Sample = parent.Faces[pf].Sample
+		} else {
+			cleanFace = append(cleanFace, -1)
+			b.faceBox = append(b.faceBox, b.walkBox(start))
+		}
+	}
+	b.Exterior = len(b.Faces)
+	b.Faces = append(b.Faces, Face{Bounded: false, Comp: -1})
+	b.faceBox = append(b.faceBox, geom.Box{})
+	cleanFace = append(cleanFace, -1)
+	faceMap[parent.Exterior] = b.Exterior
+
+	// 4. Nesting. A component re-nests exactly when the delta could have
+	// changed its parent face: it contains delta cells itself, its parent
+	// face did not survive cleanly, or it stands inside the box of a face
+	// the delta created or reshaped (a new enclosing walk can only be
+	// dirty). Everyone else keeps the parent's nesting verbatim.
+	var dirtyFaceBoxes []geom.Box
+	for fi := range b.Faces {
+		if b.Faces[fi].Bounded && cleanFace[fi] == -1 {
+			dirtyFaceBoxes = append(dirtyFaceBoxes, b.faceBox[fi])
+		}
+	}
+	for ci := range b.Comps {
+		if ci&63 == 0 && ctx.Err() != nil {
+			return canceled(ctx)
+		}
+		p := b.Verts[b.Comps[ci].RootVertex].P
+		renest := compDirty[ci]
+		var kept int
+		if !renest {
+			pc := parent.Verts[b.Comps[ci].RootVertex].Comp
+			nf, ok := faceMap[parent.Comps[pc].ParentFace]
+			if !ok {
+				renest = true
+			} else {
+				kept = nf
+				for _, box := range dirtyFaceBoxes {
+					if box.ContainsPt(p) {
+						renest = true
+						break
+					}
+				}
+			}
+		}
+		best := -1
+		if renest {
+			var bestArea rat.R
+			for fi := range b.Faces {
+				f := &b.Faces[fi]
+				if !f.Bounded || f.Comp == ci {
+					continue
+				}
+				if !b.faceBox[fi].ContainsPt(p) {
+					continue
+				}
+				if !b.walkContains(f.Walks[0], p) {
+					continue
+				}
+				if best == -1 || f.Area2.Less(bestArea) {
+					best, bestArea = fi, f.Area2
+				}
+			}
+			if best == -1 {
+				best = b.Exterior
+			}
+		} else {
+			best = kept
+		}
+		b.Comps[ci].ParentFace = best
+		outer := b.Comps[ci].OuterWalk
+		b.Faces[best].Walks = append(b.Faces[best].Walks, outer)
+		faceOfWalk[walkOf[outer]] = best
+	}
+
+	// 5. Half-edge face assignment.
+	for h := range b.Half {
+		b.Half[h].Face = faceOfWalk[walkOf[h]]
+	}
+
+	// 6. Samples. The bounding box only grows by the delta.
+	b.bbox = parent.bbox.Union(s.deltaBox)
+	b.Faces[b.Exterior].Sample = geom.Pt{
+		X: b.bbox.MaxX.Add(rat.One), Y: b.bbox.MaxY.Add(rat.One),
+	}
+	for fi := range b.Faces {
+		f := &b.Faces[fi]
+		if !f.Bounded {
+			continue
+		}
+		resample := cleanFace[fi] == -1
+		if !resample {
+			// A clean face keeps its parent sample unless its set of
+			// attached island walks changed (a new island can swallow the
+			// old sample). Walks are compared by their minimal member
+			// half-edge — the identity that survives across generations.
+			pf := cleanFace[fi]
+			if !s.sameAttachedWalks(f, &parent.Faces[pf]) {
+				resample = true
+			}
+		}
+		if resample {
+			sample, err := b.samplePastHalfEdge(f.Walks[0], b.bbox, f.Walks)
+			if err != nil {
+				return fmt.Errorf("arrange: face %d: %w", fi, err)
+			}
+			f.Sample = sample
+		}
+	}
+	s.cleanFaceOf = cleanFace
+	return nil
+}
+
+// sameAttachedWalks reports whether a new face carries exactly the same
+// attached (non-primary) walks as its parent face, walk identity taken as
+// the minimal member half-edge id. A dirty attached walk never counts as
+// the same even when it kept its minimal half-edge: an island that merged
+// with delta geometry can change shape — and swallow the parent sample —
+// without changing its identity key.
+func (s *inserter) sameAttachedWalks(f *Face, pf *Face) bool {
+	if len(f.Walks) != len(pf.Walks) {
+		return false
+	}
+	if len(f.Walks) == 1 {
+		return true
+	}
+	mine := make([]int32, 0, len(f.Walks)-1)
+	for _, w := range f.Walks[1:] {
+		wi := s.b.walkOf[w]
+		if s.walkDirty[wi] {
+			return false
+		}
+		mine = append(mine, s.b.walkMin[wi])
+	}
+	theirs := make([]int32, 0, len(pf.Walks)-1)
+	for _, w := range pf.Walks[1:] {
+		theirs = append(theirs, s.parent.walkMin[s.parent.walkOf[w]])
+	}
+	sort.Slice(mine, func(i, j int) bool { return mine[i] < mine[j] })
+	sort.Slice(theirs, func(i, j int) bool { return theirs[i] < theirs[j] })
+	for i := range mine {
+		if mine[i] != theirs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// rebuildLabels extends every cell's label in place: old-region signs are
+// copied from the parent cell the point came from (by provenance for
+// surviving cells and sub-pieces, through the parent's point-location
+// index for everything the delta created), and only the added regions pay
+// exact ring walks — and only at cells inside their bounding boxes.
+func (s *inserter) rebuildLabels(ctx context.Context) error {
+	b, parent := s.b, s.parent
+	nR := len(b.Names)
+	nF, nE, nV := len(b.Faces), len(b.Edges), len(b.Verts)
+
+	// One backing array for every label keeps the per-cell allocations to
+	// one.
+	backing := make([]Sign, (nF+nE+nV)*nR)
+	label := func(k int) Label {
+		return Label(backing[k*nR : (k+1)*nR : (k+1)*nR])
+	}
+
+	// Old-region signs.
+	fromParentCell := func(dst Label, l Loc) {
+		switch l.Kind {
+		case LocVertex:
+			s.remapLabel(dst, parent.Verts[l.Index].Label)
+		case LocEdge:
+			s.remapLabel(dst, parent.Edges[l.Index].Label)
+		default:
+			s.remapLabel(dst, parent.Faces[l.Index].Label)
+		}
+	}
+	for fi := range b.Faces {
+		l := label(fi)
+		if pf := s.cleanFaceOf[fi]; pf >= 0 {
+			s.remapLabel(l, parent.Faces[pf].Label)
+		} else if fi == b.Exterior {
+			s.remapLabel(l, parent.Faces[parent.Exterior].Label)
+		} else {
+			loc := parent.Locate(b.Faces[fi].Sample)
+			if loc.Kind != LocFace {
+				return fmt.Errorf("arrange: insert: face %d sample %s lies on the parent skeleton",
+					fi, b.Faces[fi].Sample)
+			}
+			s.remapLabel(l, parent.Faces[loc.Index].Label)
+		}
+		b.Faces[fi].Label = l
+	}
+	for ei := range b.Edges {
+		l := label(nF + ei)
+		if pe := s.edgeProv[ei]; pe >= 0 {
+			s.remapLabel(l, parent.Edges[pe].Label)
+		} else {
+			e := &b.Edges[ei]
+			mid := geom.Mid(b.Verts[e.V1].P, b.Verts[e.V2].P)
+			fromParentCell(l, parent.Locate(mid))
+		}
+		b.Edges[ei].Label = l
+	}
+	for vi := range b.Verts {
+		l := label(nF + nE + vi)
+		if vi < s.oldVerts {
+			s.remapLabel(l, parent.Verts[vi].Label)
+		} else {
+			fromParentCell(l, parent.Locate(b.Verts[vi].P))
+		}
+		b.Verts[vi].Label = l
+	}
+	if ctx.Err() != nil {
+		return canceled(ctx)
+	}
+
+	// Added-region signs, then the same consistency checks the cold build
+	// enforces, restricted to the added regions (the old signs are copies).
+	for _, ri := range s.addedIdx {
+		r := s.in.MustExt(b.Names[ri])
+		ring, box := r.Ring(), r.Box()
+		classify := func(k int, p geom.Pt) {
+			if !box.ContainsPt(p) {
+				return
+			}
+			switch geom.RingContains(ring, p) {
+			case geom.Inside:
+				backing[k*nR+ri] = Interior
+			case geom.OnBoundary:
+				backing[k*nR+ri] = Boundary
+			}
+		}
+		for fi := range b.Faces {
+			classify(fi, b.Faces[fi].Sample)
+		}
+		for ei := range b.Edges {
+			e := &b.Edges[ei]
+			p1, p2 := b.Verts[e.V1].P, b.Verts[e.V2].P
+			// Both endpoints on one outside of the region's box means the
+			// midpoint is outside it too: skip the midpoint arithmetic.
+			if (p1.X.Less(box.MinX) && p2.X.Less(box.MinX)) ||
+				(box.MaxX.Less(p1.X) && box.MaxX.Less(p2.X)) ||
+				(p1.Y.Less(box.MinY) && p2.Y.Less(box.MinY)) ||
+				(box.MaxY.Less(p1.Y) && box.MaxY.Less(p2.Y)) {
+				continue
+			}
+			classify(nF+ei, geom.Mid(p1, p2))
+		}
+		for vi := range b.Verts {
+			classify(nF+nE+vi, b.Verts[vi].P)
+		}
+		if ctx.Err() != nil {
+			return canceled(ctx)
+		}
+		for fi := range b.Faces {
+			if b.Faces[fi].Label[ri] == Boundary {
+				return fmt.Errorf("arrange: insert: face sample %s lies on boundary of %s",
+					b.Faces[fi].Sample, b.Names[ri])
+			}
+		}
+		for ei := range b.Edges {
+			e := &b.Edges[ei]
+			if e.Owners.Has(ri) != (e.Label[ri] == Boundary) {
+				return fmt.Errorf("arrange: insert: edge %d ownership disagrees with boundary sign of %s",
+					ei, b.Names[ri])
+			}
+		}
+	}
+	return nil
+}

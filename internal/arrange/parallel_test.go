@@ -1,6 +1,7 @@
 package arrange
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -48,8 +49,16 @@ func TestParallelSplitMatchesSequential(t *testing.T) {
 		t.Run(tc.name, func(t *testing.T) {
 			forceWorkers(t)
 			segs := collectSegs(t, tc.in)
-			seq := assemblePieces(segs, findCuts(segs, false))
-			parl := assemblePieces(segs, findCuts(segs, true))
+			seqCuts, err := findCuts(context.Background(), segs, false)
+			if err != nil {
+				t.Fatal(err)
+			}
+			parlCuts, err := findCuts(context.Background(), segs, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			seq := assemblePieces(segs, seqCuts)
+			parl := assemblePieces(segs, parlCuts)
 			if len(seq) != len(parl) {
 				t.Fatalf("piece counts differ: sequential %d, parallel %d", len(seq), len(parl))
 			}

@@ -1,6 +1,7 @@
 package arrange
 
 import (
+	"context"
 	"sort"
 	"sync/atomic"
 
@@ -49,8 +50,12 @@ func SetSweepMin(n int) int { return int(sweepMin.Swap(int64(n))) }
 // segment before pieces are emitted, so discovery order never leaks into
 // the output and canonical encodings stay byte-stable across worker counts
 // and across the sweep/naive switch.
-func splitSegments(segs []ownedSeg) []ownedSeg {
-	return assemblePieces(segs, findCuts(segs, len(segs) >= parallelPairMin))
+func splitSegments(ctx context.Context, segs []ownedSeg) ([]ownedSeg, error) {
+	cuts, err := findCuts(ctx, segs, len(segs) >= parallelPairMin)
+	if err != nil {
+		return nil, err
+	}
+	return assemblePieces(segs, cuts), nil
 }
 
 // findCuts returns, for each segment, its endpoints plus every point where
@@ -58,12 +63,13 @@ func splitSegments(segs []ownedSeg) []ownedSeg {
 // the plane sweep; smaller ones take the quadratic reference path. Both
 // produce the same per-segment cut sets: the sweep only skips pairs whose
 // bounding boxes are disjoint, which the exact intersection would reject
-// anyway.
-func findCuts(segs []ownedSeg, parallel bool) [][]geom.Pt {
+// anyway. Both poll ctx between iterations and abandon the pass once it
+// fires.
+func findCuts(ctx context.Context, segs []ownedSeg, parallel bool) ([][]geom.Pt, error) {
 	if int64(len(segs)) >= sweepMin.Load() {
-		return findCutsSweep(segs, parallel)
+		return findCutsSweep(ctx, segs, parallel)
 	}
-	return findCutsNaive(segs, parallel)
+	return findCutsNaive(ctx, segs, parallel)
 }
 
 // newCutTable seeds the per-segment cut lists with the segment endpoints.
@@ -99,7 +105,7 @@ func appendInter(buf []cut, i, j int, inter geom.Intersection) []cut {
 // is handed to the exact intersection test. With parallel set, pairs are
 // examined by a bounded worker pool, each worker accumulating into a
 // private buffer that is merged afterwards.
-func findCutsNaive(segs []ownedSeg, parallel bool) [][]geom.Pt {
+func findCutsNaive(ctx context.Context, segs []ownedSeg, parallel bool) ([][]geom.Pt, error) {
 	n := len(segs)
 	cuts := newCutTable(segs)
 	shards := 1
@@ -109,6 +115,9 @@ func findCutsNaive(segs []ownedSeg, parallel bool) [][]geom.Pt {
 	if shards == 1 {
 		var buf []cut
 		for i := 0; i < n; i++ {
+			if ctx.Err() != nil {
+				return nil, canceled(ctx)
+			}
 			for j := i + 1; j < n; j++ {
 				buf = appendInter(buf[:0], i, j, geom.Intersect(segs[i].s, segs[j].s))
 				for _, c := range buf {
@@ -116,27 +125,35 @@ func findCutsNaive(segs []ownedSeg, parallel bool) [][]geom.Pt {
 				}
 			}
 		}
-		return cuts
+		return cuts, nil
 	}
 	locals := make([][]cut, shards)
 	// Rows are claimed dynamically: row i costs n-1-i intersection tests,
-	// so static striping would leave the last worker nearly idle.
+	// so static striping would leave the last worker nearly idle. A fired
+	// ctx stops new rows (workers poll it per row) and the partial pass is
+	// discarded.
 	par.ForShard(shards, n, func(w, i int) {
+		if ctx.Err() != nil {
+			return
+		}
 		buf := locals[w]
 		for j := i + 1; j < n; j++ {
 			buf = appendInter(buf, i, j, geom.Intersect(segs[i].s, segs[j].s))
 		}
 		locals[w] = buf
 	})
+	if ctx.Err() != nil {
+		return nil, canceled(ctx)
+	}
 	mergeCuts(cuts, locals)
-	return cuts
+	return cuts, nil
 }
 
 // findCutsSweep is the sub-quadratic path: a plane sweep over x-sorted
 // segment bounding boxes enumerates exactly the pairs whose boxes overlap
 // (phase 1, cheap interval comparisons only), then the exact intersection
 // test runs on that candidate list (phase 2, parallel for large lists).
-func findCutsSweep(segs []ownedSeg, parallel bool) [][]geom.Pt {
+func findCutsSweep(ctx context.Context, segs []ownedSeg, parallel bool) ([][]geom.Pt, error) {
 	n := len(segs)
 	cuts := newCutTable(segs)
 
@@ -162,7 +179,10 @@ func findCutsSweep(segs []ownedSeg, parallel bool) [][]geom.Pt {
 	type pair struct{ i, j int32 }
 	var cands []pair
 	active := make([]int, 0, 64)
-	for _, i := range order {
+	for step, i := range order {
+		if step&255 == 0 && ctx.Err() != nil {
+			return nil, canceled(ctx)
+		}
 		bi := &boxes[i]
 		kept := active[:0]
 		for _, j := range active {
@@ -185,23 +205,32 @@ func findCutsSweep(segs []ownedSeg, parallel bool) [][]geom.Pt {
 	}
 	if shards == 1 {
 		var buf []cut
-		for _, c := range cands {
+		for k, c := range cands {
+			if k&1023 == 0 && ctx.Err() != nil {
+				return nil, canceled(ctx)
+			}
 			buf = appendInter(buf[:0], int(c.i), int(c.j),
 				geom.IntersectPrefiltered(segs[c.i].s, segs[c.j].s))
 			for _, cc := range buf {
 				cuts[cc.row] = append(cuts[cc.row], cc.p)
 			}
 		}
-		return cuts
+		return cuts, nil
 	}
 	locals := make([][]cut, shards)
 	par.ForBatch(shards, len(cands), candidateBatch, func(w, k int) {
+		if k%candidateBatch == 0 && ctx.Err() != nil {
+			return // claimed batch skipped; the pass is discarded below
+		}
 		c := cands[k]
 		locals[w] = appendInter(locals[w], int(c.i), int(c.j),
 			geom.IntersectPrefiltered(segs[c.i].s, segs[c.j].s))
 	})
+	if ctx.Err() != nil {
+		return nil, canceled(ctx)
+	}
 	mergeCuts(cuts, locals)
-	return cuts
+	return cuts, nil
 }
 
 // mergeCuts folds per-shard cut buffers into the per-segment table.

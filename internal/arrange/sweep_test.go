@@ -1,6 +1,7 @@
 package arrange
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"testing"
@@ -67,8 +68,16 @@ func TestSweepCutsMatchNaive(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			segs := segsOf(in)
 			for _, parallel := range []bool{false, true} {
-				naive := normalizeCuts(findCutsNaive(segs, parallel))
-				sweep := normalizeCuts(findCutsSweep(segs, parallel))
+				naiveCuts, err := findCutsNaive(context.Background(), segs, parallel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sweepCuts, err := findCutsSweep(context.Background(), segs, parallel)
+				if err != nil {
+					t.Fatal(err)
+				}
+				naive := normalizeCuts(naiveCuts)
+				sweep := normalizeCuts(sweepCuts)
 				for i := range segs {
 					if len(naive[i]) != len(sweep[i]) {
 						t.Fatalf("parallel=%v seg %d: %d naive cuts vs %d sweep cuts",
@@ -98,9 +107,15 @@ func TestSweepPiecesIdentical(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			segs := segsOf(in)
 			SetSweepMin(1 << 30) // force naive
-			naive := splitSegments(segs)
+			naive, err := splitSegments(context.Background(), segs)
+			if err != nil {
+				t.Fatal(err)
+			}
 			SetSweepMin(0) // force sweep
-			sweep := splitSegments(segs)
+			sweep, err := splitSegments(context.Background(), segs)
+			if err != nil {
+				t.Fatal(err)
+			}
 			if len(naive) != len(sweep) {
 				t.Fatalf("%d naive pieces vs %d sweep pieces", len(naive), len(sweep))
 			}

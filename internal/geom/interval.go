@@ -1,0 +1,125 @@
+package geom
+
+import (
+	"sort"
+
+	"topodb/internal/rat"
+)
+
+// IntervalIndex is a static centered interval tree over a fixed set of
+// x-intervals [Lo_i, Hi_i]: Stab(x) reports every interval containing x in
+// O(log n + k). It is the persistent point-location index behind
+// arrange.Arrangement.FaceOfPoint — built once per arrangement over the
+// edges' x-extents, then shared by every stab (point queries, incremental
+// relabeling) against that arrangement. An IntervalIndex is immutable after
+// New and safe for concurrent use.
+type IntervalIndex struct {
+	root *intervalNode
+}
+
+type intervalNode struct {
+	center rat.R
+	// Intervals straddling center, as original indices sorted two ways:
+	// ascending Lo for queries left of center, descending Hi for queries
+	// right of it.
+	byLo, byHi  []int32
+	left, right *intervalNode
+}
+
+// NewIntervalIndex builds the index over intervals (lo[i], hi[i]). The two
+// slices must have equal length; empty input yields an index whose Stab
+// always reports nothing. Intervals with lo > hi are treated as empty.
+func NewIntervalIndex(lo, hi []rat.R) *IntervalIndex {
+	if len(lo) != len(hi) {
+		panic("geom: NewIntervalIndex length mismatch")
+	}
+	idx := make([]int32, 0, len(lo))
+	for i := range lo {
+		if lo[i].LessEq(hi[i]) {
+			idx = append(idx, int32(i))
+		}
+	}
+	return &IntervalIndex{root: buildIntervalNode(idx, lo, hi)}
+}
+
+func buildIntervalNode(idx []int32, lo, hi []rat.R) *intervalNode {
+	if len(idx) == 0 {
+		return nil
+	}
+	// Center: median of interval low endpoints — keeps the recursion
+	// balanced on the index's own distribution.
+	endpoints := append([]int32(nil), idx...)
+	sort.Slice(endpoints, func(a, b int) bool {
+		return lo[endpoints[a]].Less(lo[endpoints[b]])
+	})
+	center := lo[endpoints[len(endpoints)/2]]
+
+	var leftIdx, rightIdx, mid []int32
+	for _, i := range idx {
+		switch {
+		case hi[i].Less(center):
+			leftIdx = append(leftIdx, i)
+		case center.Less(lo[i]):
+			rightIdx = append(rightIdx, i)
+		default:
+			mid = append(mid, i)
+		}
+	}
+	n := &intervalNode{center: center}
+	n.byLo = append([]int32(nil), mid...)
+	sort.Slice(n.byLo, func(a, b int) bool {
+		if c := lo[n.byLo[a]].Cmp(lo[n.byLo[b]]); c != 0 {
+			return c < 0
+		}
+		return n.byLo[a] < n.byLo[b]
+	})
+	n.byHi = append([]int32(nil), mid...)
+	sort.Slice(n.byHi, func(a, b int) bool {
+		if c := hi[n.byHi[a]].Cmp(hi[n.byHi[b]]); c != 0 {
+			return c > 0
+		}
+		return n.byHi[a] < n.byHi[b]
+	})
+	// With the median-of-lo center the mid set is nonempty (the median's
+	// own interval straddles), so both recursions strictly shrink.
+	n.left = buildIntervalNode(leftIdx, lo, hi)
+	n.right = buildIntervalNode(rightIdx, lo, hi)
+	// The per-node slices keep the lo/hi values reachable through the
+	// caller's backing arrays only; the node needs the two orders and the
+	// center, so nothing else is retained.
+	return n
+}
+
+// Stab appends to buf the indices of every interval containing x and
+// returns the extended buffer. Order is unspecified; pass buf[:0] to reuse
+// an allocation across queries. The caller supplies the same lo/hi slices
+// the index was built from.
+func (t *IntervalIndex) Stab(x rat.R, lo, hi []rat.R, buf []int32) []int32 {
+	for n := t.root; n != nil; {
+		switch c := x.Cmp(n.center); {
+		case c < 0:
+			for _, i := range n.byLo {
+				if x.Less(lo[i]) {
+					break
+				}
+				buf = append(buf, i)
+			}
+			n = n.left
+		case c > 0:
+			for _, i := range n.byHi {
+				if hi[i].Less(x) {
+					break
+				}
+				buf = append(buf, i)
+			}
+			n = n.right
+		default:
+			// x == center: every straddling interval contains it, and no
+			// interval strictly left (hi < center) or right (lo > center)
+			// can.
+			buf = append(buf, n.byLo...)
+			return buf
+		}
+	}
+	return buf
+}

@@ -1,0 +1,73 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"topodb/internal/rat"
+)
+
+// stabNaive is the quadratic reference: every interval tested directly.
+func stabNaive(x rat.R, lo, hi []rat.R) []int32 {
+	var out []int32
+	for i := range lo {
+		if lo[i].LessEq(x) && x.LessEq(hi[i]) {
+			out = append(out, int32(i))
+		}
+	}
+	return out
+}
+
+func sorted32(s []int32) []int32 {
+	out := append([]int32(nil), s...)
+	sort.Slice(out, func(a, b int) bool { return out[a] < out[b] })
+	return out
+}
+
+// Property: Stab agrees with the naive scan on random interval sets and
+// query points, including queries exactly on endpoints and duplicates.
+func TestIntervalIndexMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := rng.Intn(40)
+		lo := make([]rat.R, n)
+		hi := make([]rat.R, n)
+		for i := 0; i < n; i++ {
+			a := int64(rng.Intn(30))
+			b := a + int64(rng.Intn(10))
+			lo[i], hi[i] = rat.FromInt(a), rat.FromInt(b)
+		}
+		idx := NewIntervalIndex(lo, hi)
+		var buf []int32
+		for q := int64(-2); q <= 32; q++ {
+			for _, x := range []rat.R{rat.FromInt(q), rat.FromFrac(2*q+1, 2)} {
+				got := sorted32(idx.Stab(x, lo, hi, buf[:0]))
+				want := sorted32(stabNaive(x, lo, hi))
+				if len(got) != len(want) {
+					t.Fatalf("trial %d x=%s: got %v want %v", trial, x, got, want)
+				}
+				for k := range got {
+					if got[k] != want[k] {
+						t.Fatalf("trial %d x=%s: got %v want %v", trial, x, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestIntervalIndexEmptyAndInverted(t *testing.T) {
+	idx := NewIntervalIndex(nil, nil)
+	if got := idx.Stab(rat.Zero, nil, nil, nil); len(got) != 0 {
+		t.Fatalf("empty index reported %v", got)
+	}
+	// Inverted intervals are treated as empty.
+	lo := []rat.R{rat.FromInt(5), rat.FromInt(0)}
+	hi := []rat.R{rat.FromInt(1), rat.FromInt(2)}
+	idx = NewIntervalIndex(lo, hi)
+	got := sorted32(idx.Stab(rat.FromInt(1), lo, hi, nil))
+	if len(got) != 1 || got[0] != 1 {
+		t.Fatalf("inverted interval leaked: %v", got)
+	}
+}

@@ -131,7 +131,19 @@ func (s *Snapshot) QueryBatch(ctx context.Context, queries []string) ([]bool, er
 func (s *Snapshot) QueryBatchRefined(ctx context.Context, queries []string, k int) ([]bool, error) {
 	u, err := s.universe(ctx, k)
 	if err != nil {
-		return nil, wrapCanceled(err)
+		err = wrapCanceled(err)
+		if errors.Is(err, ErrCanceled) && len(queries) > 0 {
+			// A fired context now aborts the universe build itself (the
+			// arrangement construction is ctx-aware), before any query
+			// ran. The batch contract stays the same: every query is
+			// reported failed, individually typed.
+			be := &BatchError{Errs: make([]*QueryError, len(queries))}
+			for i := range queries {
+				be.Errs[i] = &QueryError{Index: i, Src: queries[i], Err: err}
+			}
+			return make([]bool, len(queries)), be
+		}
+		return nil, err
 	}
 	results, err := folang.EvaluateAllCtx(ctx, u, queries)
 	var be *BatchError

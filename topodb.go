@@ -112,13 +112,13 @@ func Wrap(in *spatial.Instance) *Instance { return wrap(in) }
 // read.
 func (db *Instance) Internal() *spatial.Instance { return db.in }
 
-// add runs a mutation under the write lock. The caches need no explicit
+// add runs a single mutation under the write lock, through the same
+// delta-recording commit path as Apply. The caches need no explicit
 // flush: the mutation bumps the spatial generation, and the next read
-// starts a fresh snapshot generation.
+// starts a fresh snapshot generation — derived incrementally from this
+// one when the recorded delta allows it.
 func (db *Instance) add(name string, r region.Region) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	return db.in.Add(name, r)
+	return db.applyLocked([]stagedAdd{{name: name, r: r}})
 }
 
 // mkRect constructs an open axis-parallel rectangle region.

@@ -91,14 +91,35 @@ func (db *Instance) Apply(fn func(tx *Txn) error) error {
 	if len(tx.staged) == 0 {
 		return nil
 	}
+	return db.applyLocked(tx.staged)
+}
+
+// applyLocked commits a staged batch under one write-lock acquisition and
+// records the structured delta — the prior generation, the resulting one,
+// and the names the batch purely added — with the artifact cache. The next
+// generation's first snapshot uses the delta to derive its arrangement and
+// relation table incrementally from the previous generation's artifacts; a
+// batch that replaces an existing region marks the delta invalid, which
+// simply routes that generation through the cold build.
+func (db *Instance) applyLocked(staged []stagedAdd) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	for _, op := range tx.staged {
+	parentGen := db.in.Gen()
+	added := make([]string, 0, len(staged))
+	invalid := false
+	for _, op := range staged {
+		if _, dup := db.in.Ext(op.name); dup {
+			invalid = true // replacement: not a pure extension
+		} else {
+			added = append(added, op.name)
+		}
 		// Pre-validated at stage time; an error here would mean the
 		// spatial layer grew a new invariant this staging misses.
 		if err := db.in.Add(op.name, op.r); err != nil {
+			db.cache.note(parentGen, db.in.Gen(), nil, true)
 			return err
 		}
 	}
+	db.cache.note(parentGen, db.in.Gen(), added, invalid)
 	return nil
 }
