@@ -120,22 +120,44 @@ func (c *genCache) completed(key artifactKey) (any, bool) {
 // publishes its result. build runs without the cache lock held, so builds
 // for different keys proceed in parallel and may themselves call get (the
 // derivation chain nests). Waiting on another caller's in-flight build is
-// ctx-aware; the build itself always runs to completion (its result stays
-// useful to every other requester of this generation).
+// ctx-aware; the expensive builds (arrangement, scaffold universes, the
+// S-invariant) honor the winning requester's ctx themselves, and a
+// canceled build vacates its slot below so the next requester rebuilds. A
+// waiter whose own context is still live when the winner's cancellation
+// surfaces retries against the vacated slot — becoming the next winner —
+// instead of failing for a deadline that was never its own.
 func (c *genCache) get(ctx context.Context, key artifactKey, build func() (any, error)) (any, error) {
-	c.mu.Lock()
-	if e, ok := c.entries[key]; ok {
-		c.mu.Unlock()
-		select {
-		case <-e.done:
-			return e.val, e.err
-		case <-ctx.Done():
-			return nil, ctx.Err()
+	for {
+		c.mu.Lock()
+		if e, ok := c.entries[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-e.done:
+				if e.err != nil && ctx.Err() == nil &&
+					(errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+					// The winner's context fired, not ours; the slot was
+					// vacated before done closed, so loop and rebuild.
+					continue
+				}
+				return e.val, e.err
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
 		}
+		e := &cacheEntry{done: make(chan struct{})}
+		c.entries[key] = e
+		c.mu.Unlock()
+		return c.runBuild(key, e, build)
 	}
-	e := &cacheEntry{done: make(chan struct{})}
-	c.entries[key] = e
-	c.mu.Unlock()
+}
+
+// runBuild executes the winning requester's build and publishes the result
+// into e, vacating the slot first when the error must not outlive this
+// request: context cancellation (the winner's deadline poisons nobody
+// else) and ErrTooManyRegions (the region budget is mutable process state,
+// so the verdict is not a pure function of the generation — raising the
+// budget and retrying must rebuild, as the SetRegionBudget doc promises).
+func (c *genCache) runBuild(key artifactKey, e *cacheEntry, build func() (any, error)) (any, error) {
 	// A panicking build must still publish: otherwise every waiter on this
 	// entry blocks forever. Waiters get an error; the panic propagates to
 	// the builder's caller.
@@ -147,11 +169,9 @@ func (c *genCache) get(ctx context.Context, key artifactKey, build func() (any, 
 		}
 	}()
 	e.val, e.err = build()
-	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
-		// The winning requester's context canceled the build mid-way.
-		// Every current waiter fails with the error, but the slot is
-		// vacated so the next requester rebuilds instead of inheriting a
-		// permanently poisoned entry.
+	if e.err != nil && (errors.Is(e.err, context.Canceled) ||
+		errors.Is(e.err, context.DeadlineExceeded) ||
+		errors.Is(e.err, arrange.ErrTooManyRegions)) {
 		c.mu.Lock()
 		if c.entries[key] == e {
 			delete(c.entries, key)
@@ -304,9 +324,9 @@ func (s *Snapshot) universe(ctx context.Context, k int) (*folang.Universe, error
 			if err != nil {
 				return nil, err
 			}
-			return folang.NewUniverseFromArrangement(a, s.c.in)
+			return folang.NewUniverseFromArrangementCtx(ctx, a, s.c.in)
 		}
-		return folang.NewUniverse(s.c.in, k)
+		return folang.NewUniverseCtx(ctx, s.c.in, k)
 	})
 	if err != nil {
 		return nil, err
@@ -332,7 +352,7 @@ func (s *Snapshot) invariantT(ctx context.Context) (*invariant.T, error) {
 // sinvariantT returns the memoized S-invariant (Theorem 6.1).
 func (s *Snapshot) sinvariantT(ctx context.Context) (*invariant.T, error) {
 	v, err := s.c.get(ctx, artifactKey{kind: sinvariantKind}, func() (any, error) {
-		return invariant.SInvariant(s.c.in)
+		return invariant.SInvariantCtx(ctx, s.c.in)
 	})
 	if err != nil {
 		return nil, err

@@ -1,10 +1,14 @@
 package topodb
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"runtime"
 	"sync"
 	"testing"
 
+	"topodb/internal/arrange"
 	"topodb/internal/invariant"
 	"topodb/internal/workload"
 )
@@ -278,5 +282,74 @@ func TestQueryBatchMatchesSingle(t *testing.T) {
 				t.Fatalf("k=%d query %d: batch %v, single %v", k, i, batch[i], single)
 			}
 		}
+	}
+}
+
+// A waiter blocked on another requester's in-flight build must not inherit
+// that winner's cancellation: when the winner's context fires mid-build,
+// the slot is vacated and a waiter with a live context retries — becoming
+// the next winner — instead of failing with a deadline that was never its
+// own.
+func TestWaiterRetriesAfterWinnersCancel(t *testing.T) {
+	c := &genCache{entries: make(map[artifactKey]*cacheEntry)}
+	key := artifactKey{kind: arrangementKind}
+	winnerCtx, cancel := context.WithCancel(context.Background())
+	winnerStarted := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		_, err := c.get(winnerCtx, key, func() (any, error) {
+			close(winnerStarted)
+			<-winnerCtx.Done()
+			return nil, fmt.Errorf("build canceled: %w", winnerCtx.Err())
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("winner error = %v, want context.Canceled in chain", err)
+		}
+	}()
+	<-winnerStarted
+
+	waiterReady := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		close(waiterReady)
+		v, err := c.get(context.Background(), key, func() (any, error) {
+			return 42, nil
+		})
+		if err != nil || v != 42 {
+			t.Errorf("waiter got (%v, %v), want (42, nil) via retry", v, err)
+		}
+	}()
+	<-waiterReady
+	cancel()
+	wg.Wait()
+}
+
+// A budget rejection must not poison its generation: the slot is vacated,
+// so raising the budget and retrying the same snapshot rebuilds (asserted
+// end-to-end in TestErrTooManyRegionsTyped; this pins the cache contract
+// directly).
+func TestBudgetErrorVacatesSlot(t *testing.T) {
+	c := &genCache{entries: make(map[artifactKey]*cacheEntry)}
+	key := artifactKey{kind: arrangementKind}
+	calls := 0
+	build := func() (any, error) {
+		calls++
+		if calls == 1 {
+			return nil, fmt.Errorf("arrange: %w: over budget", arrange.ErrTooManyRegions)
+		}
+		return "built", nil
+	}
+	if _, err := c.get(context.Background(), key, build); !errors.Is(err, arrange.ErrTooManyRegions) {
+		t.Fatalf("first get: %v, want ErrTooManyRegions", err)
+	}
+	v, err := c.get(context.Background(), key, build)
+	if err != nil || v != "built" {
+		t.Fatalf("second get after vacate: (%v, %v), want rebuilt value", v, err)
+	}
+	if calls != 2 {
+		t.Fatalf("build ran %d times, want 2 (slot vacated once)", calls)
 	}
 }

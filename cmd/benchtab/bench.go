@@ -16,16 +16,17 @@ import (
 	"topodb/internal/arrange"
 	"topodb/internal/fourint"
 	"topodb/internal/geom"
+	"topodb/internal/region"
 	"topodb/internal/spatial"
 	"topodb/internal/workload"
 )
 
 // benchRow is one measurement of the performance baseline.
 type benchRow struct {
-	Name        string  `json:"name"`     // cold_build | all_pairs | cached_query
+	Name        string  `json:"name"`     // cold_build | all_pairs | cached_query | incremental_add | point_location | prepared_query | large_build | large_incremental_add
 	Workload    string  `json:"workload"` // generator name
 	Size        int     `json:"size"`     // region count
-	Mode        string  `json:"mode"`     // sweep|naive, pruned|unpruned, warm|cold
+	Mode        string  `json:"mode"`     // sweep|naive, pruned|unpruned, warm|cold, incremental|cold, indexed|scan
 	Iterations  int     `json:"iterations"`
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
@@ -201,6 +202,46 @@ func collectBench() benchDoc {
 			})))
 	}
 
+	// Large-instance serving, 4x past the old 256-region owner-set
+	// ceiling: cold build of a 1024-region mosaic (sweep vs the quadratic
+	// reference), and a single-region incremental add at the same scale —
+	// the interned owner pool must keep Insert clearly ahead of the cold
+	// rebuild as instances grow.
+	{
+		large := workload.ManyRegions(1024)
+		rows = append(rows,
+			row("large_build", "many_regions", 1024, "sweep", coldBuild(large, 0)),
+			row("large_build", "many_regions", 1024, "naive", coldBuild(large, 1<<30)),
+		)
+		parent, err := arrange.Build(large)
+		check(err)
+		grown := large.Clone()
+		grown.MustAdd("Znew", region.MustRect(1, 1, 5, 5))
+		ctx := context.Background()
+		// The throwaway Insert warms the parent's point-location index, as
+		// a served parent would be.
+		_, err = arrange.Insert(ctx, parent, grown, "Znew")
+		check(err)
+		rows = append(rows, row("large_incremental_add", "many_regions", 1024, "incremental",
+			testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := arrange.Insert(ctx, parent, grown, "Znew"); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})))
+		rows = append(rows, row("large_incremental_add", "many_regions", 1024, "cold",
+			testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := arrange.Build(grown); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})))
+	}
+
 	// Prepared vs unprepared warm queries: both hit the same cached
 	// universe, so the delta is exactly the per-call parse + analysis
 	// cost a PreparedQuery eliminates.
@@ -257,11 +298,13 @@ func printBench(doc benchDoc) {
 // speedupPairs maps each benchmark family to its (fast, slow) mode pair;
 // the slow/fast ns ratio is the speedup the family must preserve.
 var speedupPairs = map[string][2]string{
-	"cold_build":      {"sweep", "naive"},
-	"all_pairs":       {"pruned", "unpruned"},
-	"cached_query":    {"warm", "cold"},
-	"incremental_add": {"incremental", "cold"},
-	"point_location":  {"indexed", "scan"},
+	"cold_build":            {"sweep", "naive"},
+	"all_pairs":             {"pruned", "unpruned"},
+	"cached_query":          {"warm", "cold"},
+	"incremental_add":       {"incremental", "cold"},
+	"large_build":           {"sweep", "naive"},
+	"large_incremental_add": {"incremental", "cold"},
+	"point_location":        {"indexed", "scan"},
 }
 
 // newestBaseline returns the committed BENCH_prN.json with the highest N
@@ -351,7 +394,9 @@ func compareBench(baselinePath string) {
 				floor = 5
 			}
 		}
-		if r.Name == "incremental_add" && floor < 5 {
+		if (r.Name == "incremental_add" || r.Name == "large_incremental_add") && floor < 5 {
+			// The incremental path must stay clearly ahead of a cold
+			// rebuild at every scale, including the 1024-region rows.
 			floor = 5
 		}
 		if floor < 1 {

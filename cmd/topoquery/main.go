@@ -22,7 +22,12 @@
 // Exit codes map the typed error classes:
 //
 //	0 success, 2 parse error, 3 unknown region, 4 timeout/canceled,
-//	5 instance too large, 1 anything else
+//	5 instance over the region budget, 1 anything else
+//
+// Exit code 5 (ErrTooManyRegions) marks an instance past the configurable
+// region budget — 4096 by default, adjustable via topodb.SetRegionBudget
+// when embedding the library; owner sets are interned, so the budget is
+// admission control, not the former hard 256-region structural cap.
 //
 // The JSON format is {"regions":[{"name":"A","ring":[["0","0"],["4","0"],...]}]}
 // with exact rational coordinates as strings.

@@ -23,8 +23,11 @@ var (
 	// the pinned snapshot) does not contain.
 	ErrNoRegion = folang.ErrNoRegion
 
-	// ErrTooManyRegions marks an instance beyond the arrangement's
-	// owner-set capacity (arrange.MaxRegions, currently 256).
+	// ErrTooManyRegions marks an instance beyond the configurable region
+	// budget (SetRegionBudget, default 4096). Owner sets are interned
+	// variable-width bit sets, so the budget is admission control for
+	// runaway loads, not a structural capacity: raise it and the same
+	// instance builds.
 	ErrTooManyRegions = arrange.ErrTooManyRegions
 
 	// ErrCanceled marks an evaluation stopped by its context, whether
@@ -76,3 +79,14 @@ func wrapCanceled(err error) error {
 func noRegion(name string) error {
 	return fmt.Errorf("topodb: no region %q: %w", name, ErrNoRegion)
 }
+
+// SetRegionBudget sets the largest region count an arrangement build
+// accepts, returning the previous setting. Instances beyond the budget
+// fail with ErrTooManyRegions. The default is 4096; any budget the
+// machine's memory supports is valid — the former compile-time 256-region
+// owner-set ceiling is gone (owner sets are interned, variable-width).
+// The budget is process-wide and safe for concurrent use.
+func SetRegionBudget(n int) int { return arrange.SetRegionBudget(n) }
+
+// RegionBudget returns the current region-count budget.
+func RegionBudget() int { return arrange.RegionBudget() }

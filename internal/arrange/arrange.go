@@ -16,7 +16,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/bits"
 	"sort"
 	"sync"
 
@@ -64,50 +63,10 @@ func (l Label) Key() string {
 // String renders the label as e.g. "(A:o, B:-)".
 func (l Label) String() string { return l.Key() }
 
-// ownersWords sizes the Owners bit set; MaxRegions = 64*ownersWords.
-const ownersWords = 4
-
-// MaxRegions is the largest instance an arrangement supports, bounded by
-// the fixed-width Owners bit set.
-const MaxRegions = 64 * ownersWords
-
-// ErrTooManyRegions marks an instance beyond MaxRegions; Build wraps it,
-// and the public topodb package aliases it for errors.Is.
+// ErrTooManyRegions marks an instance beyond the configurable region
+// budget (SetRegionBudget); Build wraps it, and the public topodb package
+// aliases it for errors.Is.
 var ErrTooManyRegions = errors.New("too many regions")
-
-// Owners is a bit set over region indices (region i owns an edge when the
-// edge lies on i's boundary). It is a fixed-size array so values stay
-// comparable with == (the invariant's edge-chain merge relies on that).
-type Owners [ownersWords]uint64
-
-// Has reports whether region index i is in the set.
-func (o Owners) Has(i int) bool { return o[i>>6]&(1<<uint(i&63)) != 0 }
-
-// With returns the set with region index i added.
-func (o Owners) With(i int) Owners {
-	o[i>>6] |= 1 << uint(i&63)
-	return o
-}
-
-// Union returns the set union of o and p.
-func (o Owners) Union(p Owners) Owners {
-	for w := range o {
-		o[w] |= p[w]
-	}
-	return o
-}
-
-// IsEmpty reports whether the set has no owners (scaffold edges).
-func (o Owners) IsEmpty() bool { return o == Owners{} }
-
-// Count returns the number of owners.
-func (o Owners) Count() int {
-	n := 0
-	for _, w := range o {
-		n += bits.OnesCount64(w)
-	}
-	return n
-}
 
 // Vertex is a 0-cell of the arrangement.
 type Vertex struct {
@@ -186,6 +145,12 @@ type Arrangement struct {
 	Comps    []Component
 	Exterior int // index of f0 in Faces
 
+	// Pool resolves the Owners handles stored on edges. It is written
+	// only while this arrangement is under construction; afterwards it is
+	// immutable and safe for concurrent readers. Insert never extends a
+	// parent's pool — the derived arrangement gets its own clone.
+	Pool *OwnerPool
+
 	index map[string]int // name -> region index
 
 	// Construction caches, filled by both the cold build and Insert and
@@ -251,10 +216,10 @@ func BuildWithScaffoldCtx(ctx context.Context, in *spatial.Instance, scaffold []
 	if len(names) == 0 {
 		return nil, fmt.Errorf("arrange: empty instance")
 	}
-	if len(names) > MaxRegions {
-		return nil, fmt.Errorf("arrange: %w: %d regions exceed the %d-region owner set", ErrTooManyRegions, len(names), MaxRegions)
+	if budget := RegionBudget(); len(names) > budget {
+		return nil, fmt.Errorf("arrange: %w: %d regions exceed the region budget of %d (raise it with SetRegionBudget)", ErrTooManyRegions, len(names), budget)
 	}
-	a := &Arrangement{Names: names, index: make(map[string]int, len(names))}
+	a := &Arrangement{Names: names, index: make(map[string]int, len(names)), Pool: NewOwnerPool()}
 	for i, n := range names {
 		a.index[n] = i
 	}
@@ -263,19 +228,20 @@ func BuildWithScaffoldCtx(ctx context.Context, in *spatial.Instance, scaffold []
 	var segs []ownedSeg
 	for i, n := range names {
 		r := in.MustExt(n)
+		own := a.Pool.With(NoOwners, i)
 		for _, s := range r.Boundary() {
-			segs = append(segs, ownedSeg{s, Owners{}.With(i)})
+			segs = append(segs, ownedSeg{s, own})
 		}
 	}
 	for _, s := range scaffold {
 		if s.IsDegenerate() {
 			return nil, fmt.Errorf("arrange: degenerate scaffold segment at %s", s.A)
 		}
-		segs = append(segs, ownedSeg{s, Owners{}})
+		segs = append(segs, ownedSeg{s, NoOwners})
 	}
 
 	// 2. Split at all mutual intersections and deduplicate.
-	pieces, err := splitSegments(ctx, segs)
+	pieces, err := splitSegments(ctx, a.Pool, segs)
 	if err != nil {
 		return nil, err
 	}

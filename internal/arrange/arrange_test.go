@@ -227,7 +227,7 @@ func TestSharedBoundaryArc(t *testing.T) {
 	}
 	shared := 0
 	for _, e := range a.Edges {
-		if e.Owners.Count() == 2 {
+		if a.Pool.Count(e.Owners) == 2 {
 			shared++
 			if e.Label.Key() != "bb" {
 				t.Fatalf("shared edge label = %s", e.Label)
@@ -254,7 +254,7 @@ func TestPartialSharedBoundary(t *testing.T) {
 	}
 	shared := 0
 	for _, e := range a.Edges {
-		if e.Owners.Count() == 2 {
+		if a.Pool.Count(e.Owners) == 2 {
 			shared++
 		}
 	}

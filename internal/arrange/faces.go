@@ -344,7 +344,7 @@ func (a *Arrangement) labelCells(ctx context.Context, in *spatial.Instance) erro
 		e := &a.Edges[ei]
 		l := labels[nF+ei]
 		for i := range l {
-			if e.Owners.Has(i) {
+			if a.Pool.Has(e.Owners, i) {
 				if l[i] != Boundary {
 					return fmt.Errorf("arrange: edge %d owned by %s but midpoint not on its boundary", ei, a.Names[i])
 				}

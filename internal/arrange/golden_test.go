@@ -1,0 +1,120 @@
+package arrange
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"topodb/internal/spatial"
+	"topodb/internal/workload"
+)
+
+// ownersFP renders an owner set as its sorted member region indices — a
+// representation-independent form shared by the committed golden
+// fingerprints and the cold-vs-insert equality property, so changing how
+// Owners is stored (fixed bit array, interned handle, ...) can never move
+// a fingerprint unless the actual set of owning regions changed.
+func ownersFP(a *Arrangement, o Owners) string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for _, i := range a.Pool.Members(o) {
+		if b.Len() > 1 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Itoa(i))
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// goldenCases is the deterministic instance matrix whose arrangement
+// fingerprints are pinned in testdata/seed_fingerprints.json: every
+// workload generator (at n <= 256) plus the paper fixtures. The goldens
+// were generated with the pre-interning [4]uint64 owner representation,
+// so equality here proves the owner-pool refactor is cell-for-cell
+// byte-stable.
+func goldenCases() map[string]*spatial.Instance {
+	return map[string]*spatial.Instance{
+		"rect_grid_16":       workload.RectGrid(4),
+		"overlap_chain_16":   workload.OverlapChain(16),
+		"nested_rings_8":     workload.NestedRings(8),
+		"county_mesh_16":     workload.CountyMesh(4),
+		"lens_stack_12":      workload.LensStack(12),
+		"circle_pair_24":     workload.CirclePair(24),
+		"sparse_scatter_120": workload.SparseScatter(120),
+		"city_blocks_16":     workload.CityBlocks(8),
+		"many_regions_256":   workload.ManyRegions(256),
+		"fig1a":              spatial.Fig1a(),
+		"fig1b":              spatial.Fig1b(),
+		"fig1c":              spatial.Fig1c(),
+		"fig1d":              spatial.Fig1d(),
+		"interlocked_o":      spatial.InterlockedO(),
+	}
+}
+
+const goldenPath = "testdata/seed_fingerprints.json"
+
+// TestSeedFingerprintsStable builds every golden case and checks the
+// arrangement's canonical cell fingerprint hash against the committed
+// seed value. Regenerate with TOPODB_UPDATE_GOLDENS=1 — only ever
+// legitimate when an intentional geometry or labeling change lands, never
+// for a representation refactor.
+func TestSeedFingerprintsStable(t *testing.T) {
+	got := make(map[string]string)
+	names := make([]string, 0)
+	for name := range goldenCases() {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	cases := goldenCases()
+	for _, name := range names {
+		a, err := Build(cases[name])
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got[name] = fmt.Sprintf("%x", sha256.Sum256([]byte(cellFingerprint(a))))
+	}
+	if os.Getenv("TOPODB_UPDATE_GOLDENS") != "" {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d golden fingerprints to %s", len(got), goldenPath)
+		return
+	}
+	data, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with TOPODB_UPDATE_GOLDENS=1): %v", err)
+	}
+	var want map[string]string
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range names {
+		w, ok := want[name]
+		if !ok {
+			t.Errorf("%s: no committed golden fingerprint", name)
+			continue
+		}
+		if got[name] != w {
+			t.Errorf("%s: fingerprint %s differs from committed seed %s", name, got[name], w)
+		}
+	}
+	for name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("%s: committed golden has no matching case", name)
+		}
+	}
+}

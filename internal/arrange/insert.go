@@ -40,7 +40,8 @@ import (
 //
 // Insert fails (and the caller should fall back to a cold build) when the
 // delta is not a pure extension: an added name already present in parent,
-// a pre-existing name missing from in, or region counts beyond MaxRegions.
+// a pre-existing name missing from in, or region counts beyond the
+// configurable region budget (SetRegionBudget).
 func Insert(ctx context.Context, parent *Arrangement, in *spatial.Instance, added ...string) (*Arrangement, error) {
 	if parent == nil || len(added) == 0 {
 		return nil, fmt.Errorf("arrange: Insert needs a parent and at least one added region")
@@ -53,9 +54,9 @@ func Insert(ctx context.Context, parent *Arrangement, in *spatial.Instance, adde
 		return nil, fmt.Errorf("arrange: Insert delta mismatch: %d = %d parent + %d added regions",
 			len(names), len(parent.Names), len(added))
 	}
-	if len(names) > MaxRegions {
-		return nil, fmt.Errorf("arrange: %w: %d regions exceed the %d-region owner set",
-			ErrTooManyRegions, len(names), MaxRegions)
+	if budget := RegionBudget(); len(names) > budget {
+		return nil, fmt.Errorf("arrange: %w: %d regions exceed the region budget of %d (raise it with SetRegionBudget)",
+			ErrTooManyRegions, len(names), budget)
 	}
 	for _, n := range added {
 		if _, ok := parent.index[n]; ok {
@@ -81,9 +82,10 @@ type inserter struct {
 	in     *spatial.Instance
 	b      *Arrangement
 
-	remap    []int // parent region index -> new region index
-	identity bool  // remap is the identity (added names sort last)
-	addedIdx []int // new region indices of the added regions, ascending
+	remap      []int             // parent region index -> new region index
+	identity   bool              // remap is the identity (added names sort last)
+	addedIdx   []int             // new region indices of the added regions, ascending
+	ownerRemap map[Owners]Owners // parent owner handle -> handle in b.Pool (non-identity only)
 
 	oldVerts, oldEdges, oldHalf int // parent array lengths
 
@@ -123,15 +125,32 @@ func (s *inserter) run(ctx context.Context, added []string) (*Arrangement, error
 	}
 	sort.Ints(s.addedIdx)
 
+	// The derived arrangement gets its own owner pool, extended coherently
+	// from the parent's: with the identity remap (added names sort last)
+	// the parent's handles keep their meaning, so a clone preserves every
+	// copied edge's Owners verbatim; with a shifted index space the parent
+	// sets must be re-interned at their remapped indices, so b starts from
+	// a fresh pool and remapOwners translates handles (memoized — the
+	// number of distinct owner sets is tiny next to the edge count).
+	// Either way parent.Pool is never written: snapshots of the parent
+	// generation keep reading it concurrently.
+	if s.identity {
+		b.Pool = parent.Pool.Clone()
+	} else {
+		b.Pool = NewOwnerPool()
+		s.ownerRemap = make(map[Owners]Owners)
+	}
+
 	// Collect the delta's segments (in ascending new-index order, like the
 	// cold build's collection pass).
 	for _, ri := range s.addedIdx {
 		r := in.MustExt(names[ri])
+		own := b.Pool.With(NoOwners, ri)
 		for _, seg := range r.Boundary() {
 			if seg.IsDegenerate() {
 				return nil, fmt.Errorf("arrange: degenerate boundary segment at %s", seg.A)
 			}
-			s.newSegs = append(s.newSegs, ownedSeg{seg, Owners{}.With(ri)})
+			s.newSegs = append(s.newSegs, ownedSeg{seg, own})
 		}
 	}
 	s.deltaBox = geom.SegBox(s.newSegs[0].s)
@@ -210,14 +229,18 @@ func ekey(v1, v2 int) [2]int32 {
 	return [2]int32{int32(v1), int32(v2)}
 }
 
-// remapOwners rewrites an owner set from parent region indices to new ones.
+// remapOwners re-interns a parent owner set into b's pool at the remapped
+// region indices. Only called on the non-identity path (the identity path
+// clones the pool, preserving handles); memoized per distinct handle.
 func (s *inserter) remapOwners(o Owners) Owners {
-	var out Owners
-	for i := range s.remap {
-		if o.Has(i) {
-			out = out.With(s.remap[i])
-		}
+	if out, ok := s.ownerRemap[o]; ok {
+		return out
 	}
+	out := NoOwners
+	for _, i := range s.parent.Pool.Members(o) {
+		out = s.b.Pool.With(out, s.remap[i])
+	}
+	s.ownerRemap[o] = out
 	return out
 }
 
@@ -446,7 +469,7 @@ func (s *inserter) insertNewPieces(newCuts [][]geom.Pt, gained map[int][]int) {
 			vb := s.getV(chain[j+1], gained)
 			key := ekey(va, vb)
 			if ei, ok := s.edgeAt[key]; ok {
-				b.Edges[ei].Owners = b.Edges[ei].Owners.Union(own)
+				b.Edges[ei].Owners = b.Pool.Union(b.Edges[ei].Owners, own)
 				continue
 			}
 			ei := len(b.Edges)
@@ -1034,7 +1057,7 @@ func (s *inserter) rebuildLabels(ctx context.Context) error {
 		}
 		for ei := range b.Edges {
 			e := &b.Edges[ei]
-			if e.Owners.Has(ri) != (e.Label[ri] == Boundary) {
+			if b.Pool.Has(e.Owners, ri) != (e.Label[ri] == Boundary) {
 				return fmt.Errorf("arrange: insert: edge %d ownership disagrees with boundary sign of %s",
 					ei, b.Names[ri])
 			}

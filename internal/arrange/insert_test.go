@@ -61,7 +61,7 @@ func validateArrangement(t *testing.T, a *Arrangement, in *spatial.Instance) {
 		mid := geom.Mid(a.Verts[e.V1].P, a.Verts[e.V2].P)
 		check(fmt.Sprintf("edge %d midpoint", ei), mid, e.Label, true)
 		for ri, name := range a.Names {
-			if e.Owners.Has(ri) != (in.MustExt(name).Locate(mid) == geom.OnBoundary) {
+			if a.Pool.Has(e.Owners, ri) != (in.MustExt(name).Locate(mid) == geom.OnBoundary) {
 				t.Fatalf("edge %d: owners disagree with geometry for %s", ei, name)
 			}
 		}
@@ -85,7 +85,7 @@ func cellFingerprint(a *Arrangement) string {
 		if p2.Cmp(p1) < 0 {
 			p1, p2 = p2, p1
 		}
-		edges = append(edges, fmt.Sprintf("%s|%s|%v|%s", p1.Key(), p2.Key(), e.Owners, e.Label.Key()))
+		edges = append(edges, fmt.Sprintf("%s|%s|%s|%s", p1.Key(), p2.Key(), ownersFP(a, e.Owners), e.Label.Key()))
 	}
 	for fi := range a.Faces {
 		f := &a.Faces[fi]

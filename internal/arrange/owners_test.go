@@ -1,0 +1,134 @@
+package arrange
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Interning canonicalizes: handle equality must coincide exactly with set
+// equality, across arbitrary With/Union construction orders and indices
+// far past the old 256-region ceiling.
+func TestOwnerPoolCanonical(t *testing.T) {
+	p := NewOwnerPool()
+	if !NoOwners.IsEmpty() || p.Count(NoOwners) != 0 || len(p.Members(NoOwners)) != 0 {
+		t.Fatal("handle 0 must be the empty set")
+	}
+
+	a := p.With(p.With(NoOwners, 3), 777)
+	b := p.With(p.With(NoOwners, 777), 3)
+	if a != b {
+		t.Fatalf("same set, different handles: %d vs %d", a, b)
+	}
+	if got := p.Members(a); len(got) != 2 || got[0] != 3 || got[1] != 777 {
+		t.Fatalf("Members = %v, want [3 777]", got)
+	}
+	if !p.Has(a, 777) || p.Has(a, 776) || p.Has(a, 100000) {
+		t.Fatal("Has misreports membership")
+	}
+
+	// With on an existing member is the identity.
+	if p.With(a, 3) != a {
+		t.Fatal("With(existing member) must return the same handle")
+	}
+	// Union identities.
+	if p.Union(a, NoOwners) != a || p.Union(NoOwners, a) != a || p.Union(a, a) != a {
+		t.Fatal("Union identities broken")
+	}
+	// Union vs element-wise construction.
+	c := p.With(NoOwners, 5000)
+	u := p.Union(a, c)
+	if w := p.With(p.With(p.With(NoOwners, 5000), 777), 3); w != u {
+		t.Fatalf("union %d != element-wise build %d", u, w)
+	}
+	if p.Count(u) != 3 {
+		t.Fatalf("Count(union) = %d, want 3", p.Count(u))
+	}
+
+	// Randomized: sets built in shuffled orders intern to equal handles,
+	// and distinct sets never collide.
+	rng := rand.New(rand.NewSource(42))
+	seen := map[Owners][]int{}
+	for trial := 0; trial < 200; trial++ {
+		k := 1 + rng.Intn(6)
+		idx := make([]int, k)
+		for i := range idx {
+			idx[i] = rng.Intn(2048)
+		}
+		h1 := NoOwners
+		for _, i := range idx {
+			h1 = p.With(h1, i)
+		}
+		rng.Shuffle(k, func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		h2 := NoOwners
+		for _, i := range idx {
+			h2 = p.With(h2, i)
+		}
+		if h1 != h2 {
+			t.Fatalf("trial %d: order-dependent handles %d vs %d for %v", trial, h1, h2, idx)
+		}
+		members := p.Members(h1)
+		if prev, ok := seen[h1]; ok {
+			if len(prev) != len(members) {
+				t.Fatalf("handle %d reused for different sets", h1)
+			}
+			for i := range prev {
+				if prev[i] != members[i] {
+					t.Fatalf("handle %d reused for different sets: %v vs %v", h1, prev, members)
+				}
+			}
+		}
+		seen[h1] = members
+	}
+}
+
+// A clone preserves every handle's meaning and diverges from its source
+// on later interns: extending the clone must not leak into the original
+// (the Insert contract — parent pools are never written).
+func TestOwnerPoolCloneIsolation(t *testing.T) {
+	p := NewOwnerPool()
+	a := p.With(NoOwners, 300)
+	b := p.With(a, 9)
+	q := p.Clone()
+	if q.Len() != p.Len() {
+		t.Fatalf("clone has %d sets, source %d", q.Len(), p.Len())
+	}
+	for _, h := range []Owners{NoOwners, a, b} {
+		pm, qm := p.Members(h), q.Members(h)
+		if len(pm) != len(qm) {
+			t.Fatalf("handle %d changed meaning across Clone", h)
+		}
+		for i := range pm {
+			if pm[i] != qm[i] {
+				t.Fatalf("handle %d changed meaning across Clone", h)
+			}
+		}
+	}
+	before := p.Len()
+	c := q.With(b, 1500) // new set interned into the clone only
+	if p.Len() != before {
+		t.Fatal("interning into the clone mutated the source pool")
+	}
+	if q.Count(c) != 3 || !q.Has(c, 1500) {
+		t.Fatal("clone extension wrong")
+	}
+	// The same set interned into the source gets the same next handle:
+	// deterministic numbering is what keeps rebuilt arrangements
+	// byte-identical.
+	if d := p.With(b, 1500); d != c {
+		t.Fatalf("deterministic numbering broken: source %d vs clone %d", d, c)
+	}
+}
+
+// SetRegionBudget swaps atomically and clamps nonsense.
+func TestSetRegionBudgetClamp(t *testing.T) {
+	old := SetRegionBudget(-5)
+	if RegionBudget() != 1 {
+		t.Fatalf("budget after SetRegionBudget(-5) = %d, want clamp to 1", RegionBudget())
+	}
+	if prev := SetRegionBudget(old); prev != 1 {
+		t.Fatalf("swap returned %d, want 1", prev)
+	}
+	if RegionBudget() != old {
+		t.Fatalf("budget not restored: %d vs %d", RegionBudget(), old)
+	}
+}

@@ -18,19 +18,22 @@ func forceWorkers(t *testing.T) {
 }
 
 // collectSegs gathers the owned boundary segments of an instance exactly as
-// BuildWithScaffold does, so the split paths can be compared in isolation.
-func collectSegs(t *testing.T, in *spatial.Instance) []ownedSeg {
+// BuildWithScaffold does (owner singletons interned in a fresh shared
+// pool), so the split paths can be compared in isolation.
+func collectSegs(t *testing.T, in *spatial.Instance) (*OwnerPool, []ownedSeg) {
 	t.Helper()
+	pool := NewOwnerPool()
 	var segs []ownedSeg
 	for i, n := range in.Names() {
+		own := pool.With(NoOwners, i)
 		for _, s := range in.MustExt(n).Boundary() {
-			segs = append(segs, ownedSeg{s, Owners{}.With(i)})
+			segs = append(segs, ownedSeg{s, own})
 		}
 	}
 	if len(segs) < parallelPairMin {
 		t.Fatalf("fixture too small to exercise the parallel path: %d segments", len(segs))
 	}
-	return segs
+	return pool, segs
 }
 
 // TestParallelSplitMatchesSequential checks that the worker-pool cut pass
@@ -48,7 +51,7 @@ func TestParallelSplitMatchesSequential(t *testing.T) {
 	} {
 		t.Run(tc.name, func(t *testing.T) {
 			forceWorkers(t)
-			segs := collectSegs(t, tc.in)
+			pool, segs := collectSegs(t, tc.in)
 			seqCuts, err := findCuts(context.Background(), segs, false)
 			if err != nil {
 				t.Fatal(err)
@@ -57,8 +60,8 @@ func TestParallelSplitMatchesSequential(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			seq := assemblePieces(segs, seqCuts)
-			parl := assemblePieces(segs, parlCuts)
+			seq := assemblePieces(pool, segs, seqCuts)
+			parl := assemblePieces(pool, segs, parlCuts)
 			if len(seq) != len(parl) {
 				t.Fatalf("piece counts differ: sequential %d, parallel %d", len(seq), len(parl))
 			}

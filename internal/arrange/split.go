@@ -50,12 +50,12 @@ func SetSweepMin(n int) int { return int(sweepMin.Swap(int64(n))) }
 // segment before pieces are emitted, so discovery order never leaks into
 // the output and canonical encodings stay byte-stable across worker counts
 // and across the sweep/naive switch.
-func splitSegments(ctx context.Context, segs []ownedSeg) ([]ownedSeg, error) {
+func splitSegments(ctx context.Context, pool *OwnerPool, segs []ownedSeg) ([]ownedSeg, error) {
 	cuts, err := findCuts(ctx, segs, len(segs) >= parallelPairMin)
 	if err != nil {
 		return nil, err
 	}
-	return assemblePieces(segs, cuts), nil
+	return assemblePieces(pool, segs, cuts), nil
 }
 
 // findCuts returns, for each segment, its endpoints plus every point where
@@ -243,8 +243,10 @@ func mergeCuts(cuts [][]geom.Pt, locals [][]cut) {
 }
 
 // assemblePieces sorts each segment's cut points, emits the nondegenerate
-// pieces in segment order, and merges owner sets of coincident pieces.
-func assemblePieces(segs []ownedSeg, cuts [][]geom.Pt) []ownedSeg {
+// pieces in segment order, and merges owner sets of coincident pieces
+// (unions interned into pool). The pass is sequential and the piece order
+// deterministic, so the pool's handle assignment is deterministic too.
+func assemblePieces(pool *OwnerPool, segs []ownedSeg, cuts [][]geom.Pt) []ownedSeg {
 	type pieceKey struct{ a, b string }
 	merged := make(map[pieceKey]int)
 	var out []ownedSeg
@@ -259,7 +261,7 @@ func assemblePieces(segs []ownedSeg, cuts [][]geom.Pt) []ownedSeg {
 			}
 			key := pieceKey{a.Key(), b.Key()}
 			if idx, ok := merged[key]; ok {
-				out[idx].o = out[idx].o.Union(segs[i].o)
+				out[idx].o = pool.Union(out[idx].o, segs[i].o)
 				continue
 			}
 			merged[key] = len(out)

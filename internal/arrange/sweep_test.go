@@ -12,15 +12,19 @@ import (
 )
 
 // segsOf replicates Build's segment-collection step: every region boundary
-// segment with its owner bit.
-func segsOf(in *spatial.Instance) []ownedSeg {
+// segment with its owner singleton, interned in a fresh pool. Both split
+// paths under comparison must share the returned pool so their owner
+// handles are comparable.
+func segsOf(in *spatial.Instance) (*OwnerPool, []ownedSeg) {
+	pool := NewOwnerPool()
 	var segs []ownedSeg
 	for i, n := range in.Names() {
+		own := pool.With(NoOwners, i)
 		for _, s := range in.MustExt(n).Boundary() {
-			segs = append(segs, ownedSeg{s, Owners{}.With(i)})
+			segs = append(segs, ownedSeg{s, own})
 		}
 	}
-	return segs
+	return pool, segs
 }
 
 // normalizeCuts sorts and dedups each row's cut points, the form in which
@@ -66,7 +70,7 @@ func sweepCases() map[string]*spatial.Instance {
 func TestSweepCutsMatchNaive(t *testing.T) {
 	for name, in := range sweepCases() {
 		t.Run(name, func(t *testing.T) {
-			segs := segsOf(in)
+			_, segs := segsOf(in)
 			for _, parallel := range []bool{false, true} {
 				naiveCuts, err := findCutsNaive(context.Background(), segs, parallel)
 				if err != nil {
@@ -105,14 +109,14 @@ func TestSweepPiecesIdentical(t *testing.T) {
 	defer SetSweepMin(old)
 	for name, in := range sweepCases() {
 		t.Run(name, func(t *testing.T) {
-			segs := segsOf(in)
+			pool, segs := segsOf(in)
 			SetSweepMin(1 << 30) // force naive
-			naive, err := splitSegments(context.Background(), segs)
+			naive, err := splitSegments(context.Background(), pool, segs)
 			if err != nil {
 				t.Fatal(err)
 			}
 			SetSweepMin(0) // force sweep
-			sweep, err := splitSegments(context.Background(), segs)
+			sweep, err := splitSegments(context.Background(), pool, segs)
 			if err != nil {
 				t.Fatal(err)
 			}

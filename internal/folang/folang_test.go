@@ -1,6 +1,8 @@
 package folang
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"topodb/internal/region"
@@ -267,5 +269,30 @@ func BenchmarkEvalRegionQuery(b *testing.B) {
 		if _, err := ev.Eval(f); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// A pre-fired context aborts the scaffold-universe build (the k > 0 path
+// the per-generation cache uses) instead of running it to completion.
+func TestNewUniverseCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewUniverseCtx(ctx, spatial.Fig1c(), 4); err == nil {
+		t.Fatal("canceled universe build must fail")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v must unwrap to context.Canceled", err)
+	}
+	// An unfired context builds the same universe as the background path.
+	u, err := NewUniverseCtx(context.Background(), spatial.Fig1c(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewUniverse(spatial.Fig1c(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumCells() != ref.NumCells() || u.NumFaces() != ref.NumFaces() {
+		t.Fatalf("ctx universe (%d cells) differs from background build (%d cells)",
+			u.NumCells(), ref.NumCells())
 	}
 }

@@ -17,6 +17,7 @@
 package folang
 
 import (
+	"context"
 	"fmt"
 
 	"topodb/internal/arrange"
@@ -89,11 +90,20 @@ func GridScaffold(in *spatial.Instance, k int) []geom.Seg {
 // NewUniverse builds the evaluation context for an instance; refine > 0
 // overlays a refine×refine scaffold grid for finer region quantification.
 func NewUniverse(in *spatial.Instance, refine int) (*Universe, error) {
-	a, err := arrange.BuildWithScaffold(in, GridScaffold(in, refine))
+	return NewUniverseCtx(context.Background(), in, refine)
+}
+
+// NewUniverseCtx is NewUniverse honoring ctx: both the scaffolded
+// arrangement build and the universe's own closure/incidence loops poll
+// the context and abandon the construction once it fires, so a canceled
+// refined (k > 0) query stops burning CPU instead of building the scaffold
+// universe to completion.
+func NewUniverseCtx(ctx context.Context, in *spatial.Instance, refine int) (*Universe, error) {
+	a, err := arrange.BuildWithScaffoldCtx(ctx, in, GridScaffold(in, refine))
 	if err != nil {
 		return nil, err
 	}
-	return newUniverseFrom(a, in)
+	return newUniverseFrom(ctx, a, in)
 }
 
 // NewUniverseFromArrangement builds the evaluation context from an
@@ -104,10 +114,22 @@ func NewUniverse(in *spatial.Instance, refine int) (*Universe, error) {
 // universe only reads the arrangement, so one arrangement may back many
 // universes concurrently.
 func NewUniverseFromArrangement(a *arrange.Arrangement, in *spatial.Instance) (*Universe, error) {
-	return newUniverseFrom(a, in)
+	return newUniverseFrom(context.Background(), a, in)
 }
 
-func newUniverseFrom(a *arrange.Arrangement, in *spatial.Instance) (*Universe, error) {
+// NewUniverseFromArrangementCtx is NewUniverseFromArrangement honoring ctx
+// in the universe's construction loops.
+func NewUniverseFromArrangementCtx(ctx context.Context, a *arrange.Arrangement, in *spatial.Instance) (*Universe, error) {
+	return newUniverseFrom(ctx, a, in)
+}
+
+// canceled wraps a fired context's error so callers see both the folang
+// origin and (via errors.Is) the underlying context cause.
+func canceled(ctx context.Context) error {
+	return fmt.Errorf("folang: universe build canceled: %w", ctx.Err())
+}
+
+func newUniverseFrom(ctx context.Context, a *arrange.Arrangement, in *spatial.Instance) (*Universe, error) {
 	u := &Universe{
 		A: a, In: in,
 		nf: len(a.Faces), ne: len(a.Edges), nv: len(a.Verts),
@@ -137,6 +159,9 @@ func newUniverseFrom(a *arrange.Arrangement, in *spatial.Instance) (*Universe, e
 		}
 	}
 	for fi, f := range a.Faces {
+		if fi&255 == 0 && ctx.Err() != nil {
+			return nil, canceled(ctx)
+		}
 		for _, w := range f.Walks {
 			for _, h := range a.WalkHalfEdges(w) {
 				addEdgeToFace(fi, a.Half[h].Edge)
@@ -157,7 +182,12 @@ func newUniverseFrom(a *arrange.Arrangement, in *spatial.Instance) (*Universe, e
 		}
 	}
 	// Record face cells incident to each vertex (for openness checks).
+	// This is the universe's quadratic pass (V×F bit probes), so it polls
+	// the context like the arrangement's own hot loops do.
 	for vi := range a.Verts {
+		if vi&63 == 0 && ctx.Err() != nil {
+			return nil, canceled(ctx)
+		}
 		for fi := range a.Faces {
 			if u.closure[u.faceCell(fi)].Has(u.vertCell(vi)) {
 				u.vertCells[vi] = append(u.vertCells[vi], u.faceCell(fi))
@@ -177,6 +207,9 @@ func newUniverseFrom(a *arrange.Arrangement, in *spatial.Instance) (*Universe, e
 
 	// Region extents: the open set of cells labeled Interior.
 	for ri, name := range a.Names {
+		if ri&63 == 0 && ctx.Err() != nil {
+			return nil, canceled(ctx)
+		}
 		bs := NewBits(n)
 		for fi, f := range a.Faces {
 			if f.Label[ri] == arrange.Interior {

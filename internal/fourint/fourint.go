@@ -195,10 +195,7 @@ func RegionBoxes(a *arrange.Arrangement) []geom.Box {
 			continue
 		}
 		b := geom.BoxOf(a.Verts[e.V1].P, a.Verts[e.V2].P)
-		for i := range a.Names {
-			if !e.Owners.Has(i) {
-				continue
-			}
+		for _, i := range a.Pool.Members(e.Owners) {
 			if !seen[i] {
 				boxes[i], seen[i] = b, true
 			} else {

@@ -91,6 +91,10 @@ type T struct {
 	Comps    []Comp
 	Exterior int
 
+	// Pool resolves the Owners handles on Edges (shared read-only with the
+	// source arrangement; handles from different pools are not comparable).
+	Pool *arrange.OwnerPool
+
 	canonMu sync.Mutex // guards canon (T values are shared by caches)
 	canon   [2]string  // cached canonical encodings per chirality
 }
@@ -110,10 +114,11 @@ func New(in *spatial.Instance) (*T, error) {
 
 // FromArrangement derives the invariant from an existing arrangement.
 func FromArrangement(a *arrange.Arrangement) (*T, error) {
-	t := &T{Names: a.Names, Exterior: -1}
+	t := &T{Names: a.Names, Exterior: -1, Pool: a.Pool}
 
 	// 1. Decide which arrangement vertices survive: degree != 2, or the
-	// two incident edges differ in ownership.
+	// two incident edges differ in ownership. Owners handles are interned
+	// in a.Pool, so == on handles is exactly set equality.
 	keep := make([]int, len(a.Verts)) // new index or -1
 	for vi := range a.Verts {
 		keep[vi] = -1

@@ -1,6 +1,7 @@
 package invariant
 
 import (
+	"context"
 	"sort"
 
 	"topodb/internal/arrange"
@@ -22,6 +23,14 @@ import (
 // smoothing (degree-4 vertices), so the alignment pattern is part of the
 // resulting structure.
 func SInvariant(in *spatial.Instance) (*T, error) {
+	return SInvariantCtx(context.Background(), in)
+}
+
+// SInvariantCtx is SInvariant honoring ctx: the scaffolded arrangement
+// build — by far the dominant cost, quadratic in the alignment lines —
+// polls the context like arrange.BuildCtx does and abandons the
+// construction with the context's error once it fires.
+func SInvariantCtx(ctx context.Context, in *spatial.Instance) (*T, error) {
 	box, ok := in.Box()
 	if !ok {
 		return nil, errEmpty
@@ -44,7 +53,7 @@ func SInvariant(in *spatial.Instance) (*T, error) {
 	for _, y := range ys {
 		segs = append(segs, geom.Seg{A: geom.Pt{X: minX, Y: y}, B: geom.Pt{X: maxX, Y: y}})
 	}
-	a, err := arrange.BuildWithScaffold(in, segs)
+	a, err := arrange.BuildWithScaffoldCtx(ctx, in, segs)
 	if err != nil {
 		return nil, err
 	}

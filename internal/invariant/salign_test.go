@@ -1,6 +1,8 @@
 package invariant
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"topodb/internal/region"
@@ -82,5 +84,29 @@ func TestSInvariantRefines(t *testing.T) {
 	v2, e2, f2 := si.Stats()
 	if v2 <= v1 || e2 <= e1 || f2 <= f1 {
 		t.Fatalf("S-invariant should refine: (%d,%d,%d) vs (%d,%d,%d)", v1, e1, f1, v2, e2, f2)
+	}
+}
+
+// A pre-fired context aborts the S-invariant's scaffolded arrangement
+// build; an unfired one produces the same canonical encoding as the
+// background path.
+func TestSInvariantCtxCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := SInvariantCtx(ctx, spatial.Fig1c()); err == nil {
+		t.Fatal("canceled S-invariant build must fail")
+	} else if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v must unwrap to context.Canceled", err)
+	}
+	got, err := SInvariantCtx(context.Background(), spatial.Fig1c())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := SInvariant(spatial.Fig1c())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Canonical() != ref.Canonical() {
+		t.Fatal("ctx S-invariant differs from the background build")
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 
+	"topodb/internal/arrange"
 	"topodb/internal/geom"
 	"topodb/internal/rat"
 	"topodb/internal/spatial"
@@ -60,16 +61,40 @@ func (Or) isFormula()     {}
 func (Exists) isFormula() {}
 func (Forall) isFormula() {}
 
-// Evaluator evaluates point-language formulas on an instance.
+// Evaluator evaluates point-language formulas on an instance. Region
+// membership atoms resolve through the instance's arrangement when one is
+// available: a quantifier probes the same sample grid for every atom of
+// its body, so locating each probe once in the cell complex (O(log E +
+// candidates) through the persistent x-interval index) and reading the
+// cell's precomputed sign vector replaces one exact ring walk per (probe,
+// region) pair.
 type Evaluator struct {
 	in *spatial.Instance
+	a  *arrange.Arrangement // nil: fall back to per-region ring walks
 	// Critical coordinates: all ring vertex coordinates.
 	xs, ys []rat.R
 }
 
-// NewEvaluator prepares the critical-coordinate grid.
+// NewEvaluator prepares the critical-coordinate grid and builds the
+// instance's arrangement so membership atoms answer through
+// Arrangement.Locate. When the arrangement is unavailable (an empty
+// instance, or one past the region budget) the evaluator silently keeps
+// the direct ring-walk path — the semantics are identical, only the
+// point-location strategy differs (property-tested in the package tests).
 func NewEvaluator(in *spatial.Instance) *Evaluator {
-	ev := &Evaluator{in: in}
+	a, err := arrange.Build(in)
+	if err != nil {
+		a = nil
+	}
+	return NewEvaluatorOn(a, in)
+}
+
+// NewEvaluatorOn prepares an evaluator that locates points in an existing
+// arrangement of the instance (as built by arrange.Build; callers with a
+// cached arrangement share it instead of rebuilding). a may be nil, which
+// selects the direct ring-walk fallback.
+func NewEvaluatorOn(a *arrange.Arrangement, in *spatial.Instance) *Evaluator {
+	ev := &Evaluator{in: in, a: a}
 	for _, n := range in.Names() {
 		for _, p := range in.MustExt(n).Ring() {
 			ev.xs = append(ev.xs, p.X)
@@ -79,6 +104,32 @@ func NewEvaluator(in *spatial.Instance) *Evaluator {
 	ev.xs = dedupSort(ev.xs)
 	ev.ys = dedupSort(ev.ys)
 	return ev
+}
+
+// inRegion answers the membership atom a(p): through the arrangement's
+// point-location index when available, by an exact ring walk otherwise.
+// Membership means the open interior, matching geom.Inside.
+func (ev *Evaluator) inRegion(name string, p geom.Pt) (bool, error) {
+	if ev.a != nil {
+		ri := ev.a.RegionIndex(name)
+		if ri < 0 {
+			return false, fmt.Errorf("pointlang: unknown region %q", name)
+		}
+		loc := ev.a.Locate(p)
+		switch loc.Kind {
+		case arrange.LocVertex:
+			return ev.a.Verts[loc.Index].Label[ri] == arrange.Interior, nil
+		case arrange.LocEdge:
+			return ev.a.Edges[loc.Index].Label[ri] == arrange.Interior, nil
+		default:
+			return ev.a.Faces[loc.Index].Label[ri] == arrange.Interior, nil
+		}
+	}
+	r, ok := ev.in.Ext(name)
+	if !ok {
+		return false, fmt.Errorf("pointlang: unknown region %q", name)
+	}
+	return r.Locate(p) == geom.Inside, nil
 }
 
 func dedupSort(vs []rat.R) []rat.R {
@@ -124,11 +175,7 @@ func (ev *Evaluator) eval(f Formula, env map[string]geom.Pt) (bool, error) {
 		if !ok {
 			return false, fmt.Errorf("pointlang: unbound point %q", f.P)
 		}
-		r, ok := ev.in.Ext(f.A)
-		if !ok {
-			return false, fmt.Errorf("pointlang: unknown region %q", f.A)
-		}
-		return r.Locate(p) == geom.Inside, nil
+		return ev.inRegion(f.A, p)
 	case LessX:
 		p, q, err := ev.pair(env, f.P, f.Q)
 		if err != nil {

@@ -155,3 +155,45 @@ func BenchmarkPointQueryFig1b(b *testing.B) {
 }
 
 func mustRect(x1, y1, x2, y2 int64) region.Region { return region.MustRect(x1, y1, x2, y2) }
+
+// Property: the arrangement-backed membership path (Arrangement.Locate +
+// cell labels) and the direct ring-walk fallback evaluate every formula
+// identically, on every fixture. The two paths share nothing past the
+// sample grid, so agreement pins the Locate routing.
+func TestArrangedMatchesRingWalk(t *testing.T) {
+	nested, disjoint := spatial.NestedPair()
+	fixtures := map[string]*spatial.Instance{
+		"fig1a":    spatial.Fig1a(),
+		"fig1b":    spatial.Fig1b(),
+		"fig1c":    spatial.Fig1c(),
+		"fig1d":    spatial.Fig1d(),
+		"nested":   nested,
+		"disjoint": disjoint,
+	}
+	formulas := map[string]Formula{
+		"overlap":   overlapQ(),
+		"contain":   Forall{"p", Or{Not{In{"B", "p"}}, In{"A", "p"}}},
+		"left-of":   Exists{"p", And{In{"A", "p"}, Exists{"q", And{In{"B", "q"}, LessX{"p", "q"}}}}},
+		"above-all": Forall{"p", Or{Not{In{"A", "p"}}, Exists{"q", And{In{"B", "q"}, LessY{"p", "q"}}}}},
+	}
+	for fname, in := range fixtures {
+		arranged := NewEvaluator(in)
+		if arranged.a == nil {
+			t.Fatalf("%s: NewEvaluator did not build an arrangement", fname)
+		}
+		walks := NewEvaluatorOn(nil, in)
+		for qname, f := range formulas {
+			got, err := arranged.Eval(f)
+			if err != nil {
+				t.Fatalf("%s/%s arranged: %v", fname, qname, err)
+			}
+			want, err := walks.Eval(f)
+			if err != nil {
+				t.Fatalf("%s/%s ring walk: %v", fname, qname, err)
+			}
+			if got != want {
+				t.Fatalf("%s/%s: arranged %v, ring walk %v", fname, qname, got, want)
+			}
+		}
+	}
+}

@@ -128,6 +128,37 @@ func CityBlocks(n int) *spatial.Instance {
 	return in
 }
 
+// ManyRegions returns an n-region district mosaic built for the large-
+// instance serving path (n is typically >= 1024, far past the old 256-
+// region owner-set ceiling): regions sit on a near-square lattice with
+// pitch 6, every third region is widened to overlap its right neighbor and
+// every fifth is stretched downward to meet the region below it (sharing
+// that region's top border), so the instance mixes
+// disjoint, overlap and meet pairs while keeping local intersection
+// density bounded — the regime where both the sweep and the incremental
+// Insert path scale. Deterministic in n alone (no randomness), so bench
+// baselines and golden fingerprints are reproducible.
+func ManyRegions(n int) *spatial.Instance {
+	cols := 1
+	for cols*cols < n {
+		cols++
+	}
+	in := spatial.New()
+	for i := 0; i < n; i++ {
+		r, c := i/cols, i%cols
+		x, y := int64(6*c), int64(6*r)
+		w, h := int64(4), int64(4)
+		if c+1 < cols && i%3 == 0 {
+			w = 7 // overlap the right neighbor
+		}
+		if r > 0 && i%5 == 0 {
+			y, h = y-2, 6 // meet the region below along its top border
+		}
+		in.MustAdd(fmt.Sprintf("M%05d", i), region.MustRect(x, y, x+w, y+h))
+	}
+	return in
+}
+
 // CirclePair returns two overlapping discretized circles with the given
 // sampling density — used for the exact-vs-float and discretization
 // ablations.

@@ -203,9 +203,14 @@ func TestQueryBatchPartialResults(t *testing.T) {
 }
 
 func TestErrTooManyRegionsTyped(t *testing.T) {
+	old := SetRegionBudget(16)
+	defer SetRegionBudget(old)
+	if old != 4096 {
+		t.Fatalf("default region budget = %d, want 4096", old)
+	}
 	db := NewInstance()
 	err := db.Apply(func(tx *Txn) error {
-		for i := 0; i < 257; i++ { // arrange.MaxRegions is 256
+		for i := 0; i < 17; i++ { // one past the 16-region budget set above
 			x := int64(i * 10)
 			tx.AddRect(fmt.Sprintf("R%03d", i), x, 0, x+4, 4)
 		}
@@ -215,6 +220,13 @@ func TestErrTooManyRegionsTyped(t *testing.T) {
 		t.Fatal(err)
 	}
 	if _, err := db.Invariant(); !errors.Is(err, ErrTooManyRegions) {
-		t.Fatalf("Invariant on 257 regions: %v, want ErrTooManyRegions", err)
+		t.Fatalf("Invariant on 17 regions under a 16-region budget: %v, want ErrTooManyRegions", err)
+	}
+	// Raising the budget admits the same instance, same generation: the
+	// ceiling is a knob, not a structural cap, and a budget rejection
+	// vacates its cache slot instead of poisoning the generation.
+	SetRegionBudget(32)
+	if _, err := db.Invariant(); err != nil {
+		t.Fatalf("Invariant after raising the budget: %v", err)
 	}
 }
