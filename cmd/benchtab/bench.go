@@ -271,6 +271,10 @@ func collectBench() benchDoc {
 			}
 		})))
 
+	// Serving tier: identical concurrent requests with whole-request
+	// coalescing on vs off (see serveload.go).
+	rows = append(rows, serveCoalesceRows()...)
+
 	return benchDoc{Schema: "topodb-bench/v1", GoMaxProcs: runtime.GOMAXPROCS(0), Rows: rows}
 }
 
@@ -305,6 +309,7 @@ var speedupPairs = map[string][2]string{
 	"large_build":           {"sweep", "naive"},
 	"large_incremental_add": {"incremental", "cold"},
 	"point_location":        {"indexed", "scan"},
+	"serve_coalesce":        {"on", "off"},
 }
 
 // newestBaseline returns the committed BENCH_prN.json with the highest N
@@ -398,6 +403,16 @@ func compareBench(baselinePath string) {
 			// The incremental path must stay clearly ahead of a cold
 			// rebuild at every scale, including the 1024-region rows.
 			floor = 5
+		}
+		if r.Name == "serve_coalesce" {
+			// The wall-clock win of coalescing scales with how many cores
+			// the duplicate evaluations would have spread over, so the
+			// recorded ratio is machine-dependent; gate only on coalescing
+			// still being a clear win, not on the recorded multiple.
+			floor = baseRatio * 0.1
+			if floor < 1.2 {
+				floor = 1.2
+			}
 		}
 		if floor < 1 {
 			// A family whose recorded ratio is near break-even (the

@@ -17,12 +17,22 @@
 // the newest committed BENCH_prN.json automatically:
 //
 //	benchtab -compare auto bench
+//
+// With -serve-load, benchtab becomes a load generator for the topodbd
+// serving tier: it drives /v1/query at a target QPS with a concurrency
+// ramp (an in-process server by default, or a running topodbd via
+// -load-url) and reports client-side p50/p95/p99 latency plus the
+// server's coalesce/batch/shed counters. -assert-coalesce N and
+// -assert-no-5xx make it a CI smoke gate:
+//
+//	benchtab -serve-load -load-qps 200 -load-duration 3s -assert-coalesce 1 -assert-no-5xx
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"topodb/internal/arrange"
 	"topodb/internal/folang"
@@ -37,6 +47,14 @@ import (
 var (
 	jsonOut = flag.Bool("json", false, "emit the bench artifact as JSON")
 	compare = flag.String("compare", "", "gate the bench artifact against this committed BENCH_prN.json (\"auto\" picks the newest)")
+
+	serveLoadMode  = flag.Bool("serve-load", false, "run the serving-tier load generator instead of table artifacts")
+	loadURL        = flag.String("load-url", "", "target a running topodbd base URL (default: in-process server)")
+	loadQPS        = flag.Int("load-qps", 200, "serve-load: target aggregate QPS")
+	loadDur        = flag.Duration("load-duration", 3*time.Second, "serve-load: run length")
+	loadConc       = flag.Int("load-conc", 16, "serve-load: peak concurrent workers, ramped up over the first half")
+	assertCoalesce = flag.Int("assert-coalesce", -1, "serve-load: fail unless at least this many coalesce hits (-1 = no assertion)")
+	assertNo5xx    = flag.Bool("assert-no-5xx", false, "serve-load: fail on any 5xx response")
 )
 
 var sections map[string]func()
@@ -58,6 +76,10 @@ func init() {
 
 func main() {
 	flag.Parse()
+	if *serveLoadMode {
+		serveLoad()
+		return
+	}
 	args := flag.Args()
 	if len(args) == 0 {
 		args = []string{"fig1", "fig2", "fig4", "fig5", "fig7", "fig9", "fig10", "fig11", "fig14"}

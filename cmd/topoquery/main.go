@@ -19,7 +19,9 @@
 // quantifier (region names or cell ids) instead of a verdict. -timeout
 // bounds the whole evaluation through context cancellation.
 //
-// Exit codes map the typed error classes:
+// Exit codes come from the canonical typed-error table in internal/serve
+// (the same one topodbd maps onto HTTP statuses — see the README
+// "Serving" section):
 //
 //	0 success, 2 parse error, 3 unknown region, 4 timeout/canceled,
 //	5 instance over the region budget, 1 anything else
@@ -42,6 +44,7 @@ import (
 	"os"
 
 	"topodb"
+	"topodb/internal/serve"
 	"topodb/internal/spatial"
 )
 
@@ -97,9 +100,16 @@ func main() {
 				var res *topodb.Result
 				res, err = pq.SelectOn(ctx, snap, *refine)
 				if err == nil {
-					if res.Sort == "name" {
+					switch res.Sort {
+					case "name":
 						fmt.Printf("%s=%v\t%s\n", res.Var, res.Names, q)
-					} else {
+					case "region":
+						suffix := ""
+						if !res.Complete {
+							suffix = "\t(truncated at region enum budget)"
+						}
+						fmt.Printf("%s=%v\t%s%s\n", res.Var, res.Regions, q, suffix)
+					default:
 						fmt.Printf("%s=%v\t%s\n", res.Var, res.Cells, q)
 					}
 					continue
@@ -173,24 +183,10 @@ func loadInstance(file, fixture string) (*spatial.Instance, error) {
 	return &in, nil
 }
 
-// exitCode maps the typed error classes to distinct exit codes so shell
-// callers can branch without scraping stderr.
-func exitCode(err error) int {
-	switch {
-	case err == nil:
-		return 0
-	case errors.Is(err, topodb.ErrParse), errors.Is(err, topodb.ErrNotSelectable):
-		return 2
-	case errors.Is(err, topodb.ErrNoRegion):
-		return 3
-	case errors.Is(err, topodb.ErrCanceled):
-		return 4
-	case errors.Is(err, topodb.ErrTooManyRegions):
-		return 5
-	default:
-		return 1
-	}
-}
+// exitCode maps the typed error classes to distinct exit codes through
+// the canonical table shared with the topodbd wire API, so shell callers
+// and HTTP clients branch on the same taxonomy.
+func exitCode(err error) int { return serve.ExitCode(err) }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "topoquery:", err)

@@ -37,8 +37,10 @@ var (
 	ErrCanceled = errors.New("topodb: canceled")
 
 	// ErrNotSelectable marks a Select on a query whose outermost node
-	// is not a name- or cell-sorted quantifier — only those two sorts
-	// have a finite binding domain to enumerate.
+	// is not a quantifier at all — there is no binding to enumerate.
+	// All three sorts are selectable: name and cell domains are finite
+	// and scanned completely, region witnesses are enumerated up to the
+	// region enumeration budget (Result.Complete reports exhaustion).
 	ErrNotSelectable = folang.ErrNotSelectable
 )
 

@@ -18,7 +18,9 @@ var (
 	ErrNoRegion = errors.New("unknown region")
 
 	// ErrNotSelectable marks a Select on a formula whose outermost node
-	// is not a name- or cell-sorted quantifier.
+	// is not a quantifier at all, so there is no binding to enumerate.
+	// (Region-sorted quantifiers are selectable: their witnesses are
+	// enumerated up to the RegionEnumLimit budget.)
 	ErrNotSelectable = errors.New("formula has no selectable outer quantifier")
 )
 

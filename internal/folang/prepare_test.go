@@ -198,14 +198,83 @@ func TestSelectNotSelectable(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, src := range []string{
-		"overlap(A, B)", // quantifier-free
-		"some region r: overlap(r, A) and overlap(r, B)", // infinite-ish domain
-	} {
-		_, err := NewEvaluator(u).Select(context.Background(), MustParse(src))
-		if !errors.Is(err, ErrNotSelectable) {
-			t.Errorf("Select(%q): %v, want ErrNotSelectable", src, err)
+	// Only a quantifier-free formula is unselectable now: region-sorted
+	// quantifiers enumerate bounded witnesses (TestSelectRegionWitnesses).
+	_, err = NewEvaluator(u).Select(context.Background(), MustParse("overlap(A, B)"))
+	if !errors.Is(err, ErrNotSelectable) {
+		t.Errorf("Select(quantifier-free): %v, want ErrNotSelectable", err)
+	}
+}
+
+func TestSelectRegionWitnesses(t *testing.T) {
+	u, err := NewUniverse(spatial.Fig1c(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := MustParse("some region r: subset(r, A) and subset(r, B)")
+	sel, err := NewEvaluator(u).Select(context.Background(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Sort != SortRegion || sel.Regions == nil || sel.Names != nil || sel.Cells != nil {
+		t.Fatalf("region result misshapen: %+v", sel)
+	}
+	if !sel.Complete {
+		t.Fatalf("default budget should exhaust Fig1c's region domain")
+	}
+	if len(sel.Regions) == 0 {
+		t.Fatalf("A ∩ B contains cells in Fig1c; want region witnesses")
+	}
+	// Every reported witness must be a legitimate disc region whose
+	// regular union satisfies the body.
+	ev := NewEvaluator(u)
+	for _, faces := range sel.Regions {
+		if !u.IsDiscRegion(faces) {
+			t.Errorf("witness %v is not a disc region", faces)
 		}
+		v := ev.mkValue(u.RegularUnion(faces))
+		if !v.set.SubsetOf(u.Region("A")) || !v.set.SubsetOf(u.Region("B")) {
+			t.Errorf("witness %v does not satisfy the body", faces)
+		}
+	}
+	// Witness count agrees with an independent enumeration of the domain.
+	want := 0
+	u.EnumDiscRegions(DefaultOptions().RegionEnumLimit, 0, func(faces []int) bool {
+		v := ev.mkValue(u.RegularUnion(faces))
+		if v.set.SubsetOf(u.Region("A")) && v.set.SubsetOf(u.Region("B")) {
+			want++
+		}
+		return true
+	})
+	if len(sel.Regions) != want {
+		t.Fatalf("select returned %d region witnesses, direct scan %d", len(sel.Regions), want)
+	}
+	// The some-verdict is consistent with a nonempty witness list.
+	verdict, err := NewEvaluator(u).EvalCtx(context.Background(), f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if verdict != (len(sel.Regions) > 0) {
+		t.Fatalf("verdict %v inconsistent with %d witnesses", verdict, len(sel.Regions))
+	}
+}
+
+func TestSelectRegionBudgetTruncates(t *testing.T) {
+	u, err := NewUniverse(spatial.Fig1c(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := NewEvaluator(u)
+	ev.Opts.RegionEnumLimit = 1 // one candidate examined, then stop
+	sel, err := ev.Select(context.Background(), MustParse("some region r: subset(r, A)"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Complete {
+		t.Fatalf("limit 1 cannot exhaust the domain; Complete must be false")
+	}
+	if len(sel.Regions) > 1 {
+		t.Fatalf("limit 1 examined %d witnesses", len(sel.Regions))
 	}
 }
 

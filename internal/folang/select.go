@@ -3,6 +3,7 @@ package folang
 import (
 	"context"
 	"fmt"
+	"sort"
 )
 
 // Selection holds the satisfying bindings of a formula's outermost
@@ -11,7 +12,7 @@ import (
 // matching the variable's sort.
 type Selection struct {
 	Var  string // the quantified variable
-	Sort Sort   // SortName or SortCell
+	Sort Sort   // SortName, SortCell or SortRegion
 
 	// Names: the satisfying region names (Sort == SortName), in the
 	// instance's sorted name order.
@@ -20,28 +21,45 @@ type Selection struct {
 	// arrangement (Sort == SortCell), ascending. The exterior face can
 	// appear: the cell quantifier ranges over it too.
 	Cells []int
+	// Regions: the satisfying legitimate regions (Sort == SortRegion),
+	// each a sorted face-index set, in nondecreasing size order as the
+	// enumeration produces them. The domain of disc regions is
+	// exponential, so this column is bounded by the evaluator's
+	// RegionEnumLimit budget: Complete reports whether the whole domain
+	// was scanned.
+	Regions [][]int
+
+	// Complete reports whether the enumeration exhausted the binding
+	// domain. It is always true for the finite name and cell sorts; for
+	// the region sort it is false when the RegionEnumLimit budget ran out
+	// first, in which case the listed witnesses are sound but regions
+	// beyond the budget are unreported, not refuted.
+	Complete bool
 }
 
 // Len returns the number of satisfying bindings.
-func (s *Selection) Len() int { return len(s.Names) + len(s.Cells) }
+func (s *Selection) Len() int { return len(s.Names) + len(s.Cells) + len(s.Regions) }
 
 // Select enumerates the satisfying bindings of the outermost quantifier
-// of f. The formula must be a quantifier over the name or cell sort —
-// the two sorts with a finite, directly reportable domain; anything else
-// (a quantifier-free formula, or a region-sorted quantifier, whose
-// domain of disc regions is exponential) fails with ErrNotSelectable.
+// of f. The formula must be a quantifier; a quantifier-free formula has
+// no binding to enumerate and fails with ErrNotSelectable.
+//
+// Name- and cell-sorted quantifiers have finite domains and are scanned
+// completely. A region-sorted quantifier ranges over the legitimate disc
+// regions — an exponential domain — so its witnesses are enumerated in
+// nondecreasing size up to the evaluator's RegionEnumLimit budget;
+// Selection.Complete reports whether the budget sufficed to exhaust the
+// domain.
 //
 // Unlike Eval, Select never stops at the first witness: it always scans
-// the whole domain. The quantifier kind (some/all) does not change the
-// enumeration — for "some" the bindings are the witnesses, for "all"
-// the complement of the returned set is the counterexample list.
+// the whole (budgeted) domain. The quantifier kind (some/all) does not
+// change the enumeration — for "some" the bindings are the witnesses,
+// for "all" the complement of the returned set is the counterexample
+// list.
 func (ev *Evaluator) Select(ctx context.Context, f Formula) (*Selection, error) {
 	q, ok := f.(Quant)
 	if !ok {
 		return nil, fmt.Errorf("folang: %w: outermost node is %T", ErrNotSelectable, f)
-	}
-	if q.Sort == SortRegion {
-		return nil, fmt.Errorf("folang: %w: region-sorted quantifier has no finite binding domain", ErrNotSelectable)
 	}
 	if ctx == nil {
 		ctx = context.Background()
@@ -50,7 +68,7 @@ func (ev *Evaluator) Select(ctx context.Context, f Formula) (*Selection, error) 
 	ev.ctx = ctx
 	defer func() { ev.ctx = prev }()
 
-	sel := &Selection{Var: q.Var, Sort: q.Sort}
+	sel := &Selection{Var: q.Var, Sort: q.Sort, Complete: true}
 	env := map[string]value{}
 	holds := func(v value) (bool, error) {
 		if err := ev.canceled(); err != nil {
@@ -84,6 +102,25 @@ func (ev *Evaluator) Select(ctx context.Context, f Formula) (*Selection, error) 
 				sel.Cells = append(sel.Cells, fi)
 			}
 		}
+	case SortRegion:
+		sel.Regions = [][]int{}
+		var evalErr error
+		exhausted := ev.U.EnumDiscRegions(ev.Opts.RegionEnumLimit, ev.Opts.MaxRegionFaces, func(faces []int) bool {
+			ok, err := holds(ev.mkValue(ev.U.RegularUnion(faces)))
+			if err != nil {
+				evalErr = err
+				return false
+			}
+			if ok {
+				sort.Ints(faces)
+				sel.Regions = append(sel.Regions, faces)
+			}
+			return true
+		})
+		if evalErr != nil {
+			return nil, evalErr
+		}
+		sel.Complete = exhausted
 	}
 	return sel, nil
 }

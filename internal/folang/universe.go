@@ -350,8 +350,11 @@ func (u *Universe) facesConnected(faces []int, in map[int]bool, _ bool) bool {
 // nondecreasing size (iterative deepening, so small witnesses are found
 // first), calling yield for each; enumeration stops when yield returns
 // false or when limit candidate subsets have been examined. maxFaces caps
-// the region size (0 = all bounded faces).
-func (u *Universe) EnumDiscRegions(limit, maxFaces int, yield func(faces []int) bool) {
+// the region size (0 = all bounded faces). The return value reports
+// whether the domain was exhausted: false means enumeration stopped early
+// — the limit budget ran out or yield asked to stop — so absent witnesses
+// beyond that point are unknown, not refuted.
+func (u *Universe) EnumDiscRegions(limit, maxFaces int, yield func(faces []int) bool) bool {
 	bounded := make([]int, 0, u.nf)
 	for fi := 0; fi < u.nf; fi++ {
 		if fi != u.A.Exterior {
@@ -414,10 +417,11 @@ func (u *Universe) EnumDiscRegions(limit, maxFaces int, yield func(faces []int) 
 				}
 			}
 			if !rec([]int{root}, map[int]bool{root: true}, banned, frontier) {
-				return
+				return false
 			}
 		}
 	}
+	return true
 }
 
 // String summarizes the universe.

@@ -1,0 +1,139 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"topodb"
+)
+
+// batchKey groups batchable queries: same instance, same generation,
+// same refinement level. The generation is part of the key for the same
+// reason it keys the coalescer — every query in a flushed batch is
+// evaluated on one snapshot, and the responses are stamped with exactly
+// that snapshot's generation.
+type batchKey struct {
+	instance string
+	gen      uint64
+	refine   int
+}
+
+// batchOutcome is one query's share of a flushed batch.
+type batchOutcome struct {
+	ok   bool
+	size int // how many queries the flushed batch held
+	err  error
+}
+
+// batchGroup is one open batch window.
+type batchGroup struct {
+	snap    *topodb.Snapshot
+	queries []string
+	waiters []chan batchOutcome
+	timer   *time.Timer
+	closed  bool // flushed (or flushing); no further enqueues
+}
+
+// batcher folds small queries arriving within one batch window into a
+// single QueryBatch evaluation: the window opens at the first enqueue
+// and flushes after `window` has elapsed or when `max` queries have
+// accumulated, whichever comes first. Per-query failures fan back out of
+// the QueryBatch's positional BatchError, so one malformed query never
+// poisons the batch — exactly the library's batch contract, lifted onto
+// the wire.
+type batcher struct {
+	window  time.Duration
+	max     int
+	timeout time.Duration // evaluation deadline for a flushed batch
+	metrics *Metrics
+
+	mu      sync.Mutex
+	pending map[batchKey]*batchGroup
+}
+
+func newBatcher(window time.Duration, max int, timeout time.Duration, m *Metrics) *batcher {
+	return &batcher{
+		window: window, max: max, timeout: timeout, metrics: m,
+		pending: make(map[batchKey]*batchGroup),
+	}
+}
+
+// enqueue adds one query to the open window for key (opening one if
+// needed) and returns the channel its outcome will arrive on. snap must
+// be a snapshot pinning key.gen; the first enqueuer's snapshot serves
+// the whole batch — all snapshots of one generation read the same
+// frozen state, so which one wins is unobservable.
+func (b *batcher) enqueue(key batchKey, snap *topodb.Snapshot, query string) <-chan batchOutcome {
+	out := make(chan batchOutcome, 1)
+	b.mu.Lock()
+	g, ok := b.pending[key]
+	if !ok {
+		g = &batchGroup{snap: snap}
+		g.timer = time.AfterFunc(b.window, func() { b.flush(key, g) })
+		b.pending[key] = g
+	}
+	g.queries = append(g.queries, query)
+	g.waiters = append(g.waiters, out)
+	full := len(g.queries) >= b.max
+	b.mu.Unlock()
+	if full {
+		b.flush(key, g)
+	}
+	return out
+}
+
+// flush closes the window and evaluates its queries as one QueryBatch.
+// Idempotent: the timer path and the batch-full path can race, and the
+// loser finds the group already closed.
+func (b *batcher) flush(key batchKey, g *batchGroup) {
+	b.mu.Lock()
+	if g.closed {
+		b.mu.Unlock()
+		return
+	}
+	g.closed = true
+	g.timer.Stop()
+	if b.pending[key] == g {
+		delete(b.pending, key)
+	}
+	queries, waiters, snap := g.queries, g.waiters, g.snap
+	b.mu.Unlock()
+
+	b.metrics.BatchFlush(len(queries))
+
+	// The flush runs under its own deadline, detached from any single
+	// waiter's context: one impatient client giving up (it sees its own
+	// canceled/504) must not abort the evaluation its batch siblings are
+	// still waiting on.
+	ctx := context.Background()
+	if b.timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, b.timeout)
+		defer cancel()
+	}
+	results, err := snap.QueryBatchRefined(ctx, queries, key.refine)
+
+	perQuery := make([]error, len(queries))
+	var be *topodb.BatchError
+	switch {
+	case errors.As(err, &be):
+		for _, qe := range be.Errs {
+			if qe.Index >= 0 && qe.Index < len(perQuery) {
+				perQuery[qe.Index] = qe.Err
+			}
+		}
+	case err != nil:
+		for i := range perQuery {
+			perQuery[i] = err
+		}
+	}
+	for i, w := range waiters {
+		ok := false
+		if results != nil && i < len(results) {
+			ok = results[i]
+		}
+		w <- batchOutcome{ok: ok, size: len(queries), err: perQuery[i]}
+	}
+}

@@ -67,8 +67,11 @@ func (pq *PreparedQuery) EvalOn(ctx context.Context, s *Snapshot, k int) (bool, 
 
 // Select enumerates the satisfying bindings of the query's outermost
 // quantifier on a fresh snapshot: for "some name a: φ" the region names
-// a making φ true, for "some cell r: φ" the 2-cell (face) ids. Queries
-// without a name- or cell-sorted outer quantifier fail with
+// a making φ true, for "some cell r: φ" the 2-cell (face) ids, and for
+// "some region r: φ" the witness face sets of the legitimate regions
+// satisfying φ, enumerated in nondecreasing size up to the region
+// enumeration budget (Result.Complete reports whether the budget
+// exhausted the domain). Queries without an outer quantifier fail with
 // ErrNotSelectable; "all"-quantified queries enumerate the bindings
 // satisfying the body (their complement is the counterexample list).
 func (pq *PreparedQuery) Select(ctx context.Context) (*Result, error) {
@@ -91,7 +94,7 @@ func (pq *PreparedQuery) SelectOn(ctx context.Context, s *Snapshot, k int) (*Res
 type Result struct {
 	// Var is the quantified variable the bindings are for.
 	Var string
-	// Sort is the variable's sort: "name" or "cell".
+	// Sort is the variable's sort: "name", "cell" or "region".
 	Sort string
 	// Names is the name-sorted column: satisfying region names in the
 	// instance's sorted order. Non-nil iff Sort == "name".
@@ -100,7 +103,17 @@ type Result struct {
 	// of the snapshot's arrangement, ascending. Non-nil iff
 	// Sort == "cell".
 	Cells []int
+	// Regions is the region-sorted column: each satisfying legitimate
+	// region as its sorted face-id set, in nondecreasing size order.
+	// Non-nil iff Sort == "region".
+	Regions [][]int
+	// Complete reports whether the enumeration exhausted the binding
+	// domain. Always true for the finite name and cell sorts; for the
+	// region sort it is false when the enumeration budget ran out first
+	// — the listed witnesses are sound, but regions beyond the budget
+	// are unreported, not refuted.
+	Complete bool
 }
 
 // Len returns the number of satisfying bindings.
-func (r *Result) Len() int { return len(r.Names) + len(r.Cells) }
+func (r *Result) Len() int { return len(r.Names) + len(r.Cells) + len(r.Regions) }

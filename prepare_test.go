@@ -122,17 +122,42 @@ func TestPreparedSelectCellsAgreeWithEval(t *testing.T) {
 
 func TestPreparedSelectNotSelectable(t *testing.T) {
 	db := buildFig1c(t)
-	for _, src := range []string{
-		"overlap(A, B)",
-		"some region r: subset(r, A)",
-	} {
-		pq, err := db.Prepare(src)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if _, err := pq.Select(context.Background()); !errors.Is(err, ErrNotSelectable) {
-			t.Errorf("Select(%q): %v, want ErrNotSelectable", src, err)
-		}
+	// Only quantifier-free formulas are unselectable; all three sorts
+	// enumerate (the region sort up to the enumeration budget).
+	pq, err := db.Prepare("overlap(A, B)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pq.Select(context.Background()); !errors.Is(err, ErrNotSelectable) {
+		t.Errorf("Select(quantifier-free): %v, want ErrNotSelectable", err)
+	}
+}
+
+func TestPreparedSelectRegionWitnesses(t *testing.T) {
+	db := buildFig1c(t)
+	pq, err := db.Prepare("some region r: subset(r, A) and subset(r, B)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pq.Select(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sort != "region" || res.Regions == nil || res.Names != nil || res.Cells != nil {
+		t.Fatalf("region result misshapen: %+v", res)
+	}
+	if !res.Complete {
+		t.Fatalf("default budget should exhaust Fig1c's region domain")
+	}
+	ok, err := pq.Eval(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok != (res.Len() > 0) {
+		t.Fatalf("verdict %v inconsistent with %d witnesses", ok, res.Len())
+	}
+	if res.Len() == 0 {
+		t.Fatalf("A ∩ B contains cells in Fig1c; want region witnesses")
 	}
 }
 

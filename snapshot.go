@@ -158,9 +158,11 @@ func (s *Snapshot) QueryBatchRefined(ctx context.Context, queries []string, k in
 	return results, wrapCanceled(err)
 }
 
-// Select parses a query whose outermost node is a name- or cell-sorted
-// quantifier and enumerates the satisfying bindings of that quantifier
-// on the snapshot (see PreparedQuery.Select for the prepared form).
+// Select parses a query whose outermost node is a quantifier and
+// enumerates the satisfying bindings of that quantifier on the snapshot:
+// region names, cell ids, or — for the region sort — witness face sets
+// up to the enumeration budget (see PreparedQuery.Select for the
+// prepared form and the budget semantics).
 func (s *Snapshot) Select(ctx context.Context, src string) (*Result, error) {
 	return s.SelectRefined(ctx, src, 0)
 }
@@ -276,5 +278,9 @@ func (s *Snapshot) selectFormula(ctx context.Context, f folang.Formula, info *fo
 	if err != nil {
 		return nil, wrapCanceled(err)
 	}
-	return &Result{Var: sel.Var, Sort: sel.Sort.String(), Names: sel.Names, Cells: sel.Cells}, nil
+	return &Result{
+		Var: sel.Var, Sort: sel.Sort.String(),
+		Names: sel.Names, Cells: sel.Cells, Regions: sel.Regions,
+		Complete: sel.Complete,
+	}, nil
 }

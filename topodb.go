@@ -194,6 +194,17 @@ func (db *Instance) AddRectUnion(name string, rects ...[4]int64) error {
 	return db.add(name, r)
 }
 
+// Gen returns the instance's current mutation generation — the stamp a
+// Snapshot taken now would pin (Snapshot.Gen). Serving tiers use it as a
+// cheap coalescing key: two requests observing the same generation may
+// share one evaluation, because every snapshot of a generation reads the
+// same frozen state.
+func (db *Instance) Gen() uint64 {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.in.Gen()
+}
+
 // Names returns the region names in sorted order. The caller owns the
 // returned slice (it is a copy: the internal one may be shifted in place
 // by later mutations).
@@ -339,9 +350,9 @@ func (db *Instance) QueryBatchRefined(queries []string, k int) ([]bool, error) {
 	return db.Snapshot().QueryBatchRefined(context.Background(), queries, k)
 }
 
-// Select parses a query whose outermost node is a name- or cell-sorted
-// quantifier and enumerates its satisfying bindings on a fresh snapshot.
-// See PreparedQuery.Select for the prepared form and the Result shape.
+// Select parses a query whose outermost node is a quantifier and
+// enumerates its satisfying bindings on a fresh snapshot. See
+// PreparedQuery.Select for the prepared form and the Result shape.
 func (db *Instance) Select(ctx context.Context, src string) (*Result, error) {
 	return db.Snapshot().Select(ctx, src)
 }
