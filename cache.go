@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"topodb/internal/arrange"
 	"topodb/internal/folang"
 	"topodb/internal/fourint"
 	"topodb/internal/geom"
 	"topodb/internal/invariant"
+	"topodb/internal/par"
 	"topodb/internal/reldb"
 	"topodb/internal/spatial"
 	"topodb/internal/thematic"
@@ -31,10 +33,12 @@ const (
 	thematicKind
 	relationsKind
 	boxesKind
+	shardedKind // the composed *arrange.Sharded artifact
+	shardKind   // one shard's sub-arrangement; k is the shard id
 )
 
-// artifactKey identifies one cache slot; k is the refinement level and is
-// meaningful only for universeKind.
+// artifactKey identifies one cache slot; k is the refinement level for
+// universeKind and the shard id for shardKind, 0 elsewhere.
 type artifactKey struct {
 	kind artifactKind
 	k    int
@@ -275,12 +279,24 @@ func init() { incrementalMax.Store(defaultIncrementalMax) }
 // better served cold.
 func SetIncrementalMax(n int) int { return int(incrementalMax.Swap(int64(n))) }
 
-// buildArrangement derives the generation's arrangement: incrementally
-// from the parent generation's materialized arrangement when the recorded
-// delta is a small pure extension, cold otherwise. Incremental failures
-// other than cancellation fall back to the cold build — Insert rejecting a
-// delta is a routing decision, never an error the caller sees.
+// buildArrangement derives the generation's arrangement: from the sharded
+// artifact via arrange.Stitch when the instance is past the shard
+// threshold (both paths are cell-for-cell identical; the stitched one
+// skips the monolithic global sweep and labeling), incrementally from the
+// parent generation's materialized arrangement when the recorded delta is
+// a small pure extension, cold otherwise. Incremental failures other than
+// cancellation fall back to the cold build — Insert rejecting a delta is a
+// routing decision, never an error the caller sees.
 func (c *genCache) buildArrangement(ctx context.Context) (any, error) {
+	if arrange.ShardingEnabled(c.in.Len()) {
+		v, err := c.get(ctx, artifactKey{kind: shardedKind}, func() (any, error) {
+			return c.buildSharded(ctx)
+		})
+		if err != nil {
+			return nil, err
+		}
+		return arrange.Stitch(ctx, v.(*arrange.Sharded))
+	}
 	if parent, added := c.parentLink(); parent != nil &&
 		int64(len(added)) <= incrementalMax.Load() {
 		if v, ok := parent.completed(artifactKey{kind: arrangementKind}); ok {
@@ -296,9 +312,129 @@ func (c *genCache) buildArrangement(ctx context.Context) (any, error) {
 	return arrange.BuildCtx(ctx, c.in)
 }
 
+// buildSharded derives the generation's sharded artifact: by
+// arrange.InsertSharded from the parent generation's when the recorded
+// delta is a small pure extension — untouched shards alias the parent's
+// sub-arrangements, only intersected shards rebuild — and cold otherwise,
+// fanning the per-shard builds out over the worker pool with each shard in
+// its own single-flight cache slot. A fired ctx vacates every per-shard
+// slot (vacateShardSlots): a canceled build leaves no half-built
+// generation behind, exactly like the monolithic cold build's vacated
+// arrangement slot.
+func (c *genCache) buildSharded(ctx context.Context) (any, error) {
+	if parent, added := c.parentLink(); parent != nil &&
+		int64(len(added)) <= incrementalMax.Load() {
+		if v, ok := parent.completed(artifactKey{kind: shardedKind}); ok {
+			sh, err := arrange.InsertSharded(ctx, v.(*arrange.Sharded), c.in, added...)
+			if err == nil {
+				return sh, nil
+			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return nil, err
+			}
+		}
+	}
+	names := c.in.Names()
+	if budget := arrange.RegionBudget(); len(names) > budget {
+		return nil, fmt.Errorf("topodb: %w: %d regions exceed the region budget of %d (raise it with SetRegionBudget)",
+			arrange.ErrTooManyRegions, len(names), budget)
+	}
+	plan := arrange.PlanShards(c.in)
+	sh := &arrange.Sharded{
+		Names:      append([]string(nil), names...),
+		Plan:       plan,
+		Subs:       make([]*arrange.Arrangement, plan.NumShards()),
+		BuildNanos: make([]int64, plan.NumShards()),
+	}
+	errs := make([]error, plan.NumShards())
+	perr := par.ForCtx(ctx, plan.NumShards(), func(i int) {
+		t0 := time.Now()
+		v, err := c.get(ctx, artifactKey{kind: shardKind, k: i}, func() (any, error) {
+			return arrange.BuildCtx(ctx, plan.SubInstance(c.in, i))
+		})
+		if err == nil {
+			sh.Subs[i] = v.(*arrange.Arrangement)
+		}
+		errs[i] = err
+		sh.BuildNanos[i] = time.Since(t0).Nanoseconds()
+	})
+	if perr != nil || ctx.Err() != nil {
+		c.vacateShardSlots()
+		return nil, fmt.Errorf("topodb: sharded build canceled: %w", ctx.Err())
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return sh, nil
+}
+
+// vacateShardSlots drops every settled per-shard cache slot. Called when a
+// sharded build is abandoned mid-flight: shards that completed before the
+// cancellation must not linger as orphans of a generation that never
+// materialized. In-flight slots are left for their own runBuild to settle
+// (a canceled sub-build vacates itself).
+func (c *genCache) vacateShardSlots() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, e := range c.entries {
+		if key.kind != shardKind {
+			continue
+		}
+		select {
+		case <-e.done:
+			delete(c.entries, key)
+		default:
+		}
+	}
+}
+
 // The typed accessors below are the only consumers of the cache. They are
 // Snapshot methods: every artifact derives from the snapshot's frozen
 // clone, never from the live instance.
+
+// sharded returns the memoized sharded artifact of the snapshot,
+// independent of the shard threshold (callers gate on
+// arrange.ShardingEnabled themselves).
+func (s *Snapshot) sharded(ctx context.Context) (*arrange.Sharded, error) {
+	v, err := s.c.get(ctx, artifactKey{kind: shardedKind}, func() (any, error) {
+		return s.c.buildSharded(ctx)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*arrange.Sharded), nil
+}
+
+// ShardStats reports the sharded artifact's observability counters for a
+// snapshot whose sharded artifact has already materialized: shard count,
+// per-shard build latencies (0 for shards aliased from the parent
+// generation), and the routing counters. It never triggers a build — ok is
+// false when the snapshot is below the shard threshold or the artifact has
+// not been computed yet.
+func (s *Snapshot) ShardStats() (stats ShardStats, ok bool) {
+	v, done := s.c.completed(artifactKey{kind: shardedKind})
+	if !done {
+		return ShardStats{}, false
+	}
+	sh := v.(*arrange.Sharded)
+	one, multi := sh.RoutingCounts()
+	return ShardStats{
+		Shards:     sh.NumShards(),
+		BuildNanos: append([]int64(nil), sh.BuildNanos...),
+		OneShard:   one,
+		MultiShard: multi,
+	}, true
+}
+
+// ShardStats is the observability view of a snapshot's sharded artifact.
+type ShardStats struct {
+	Shards     int     // number of shards in the plan
+	BuildNanos []int64 // per-shard build latency; 0 = aliased from parent
+	OneShard   uint64  // located queries answered from a single shard
+	MultiShard uint64  // located queries that consulted several shards
+}
 
 // arrangement returns the memoized cell complex of the snapshot, derived
 // incrementally from the parent generation when possible (see
@@ -397,16 +533,39 @@ func (s *Snapshot) regionBoxes(ctx context.Context) ([]geom.Box, error) {
 // parent table.
 func (s *Snapshot) relations(ctx context.Context) (map[[2]string]Relation, error) {
 	v, err := s.c.get(ctx, artifactKey{kind: relationsKind}, func() (any, error) {
-		a, err := s.arrangement(ctx)
-		if err != nil {
-			return nil, err
-		}
 		boxes, err := s.regionBoxes(ctx)
 		if err != nil {
 			return nil, err
 		}
-		if parent, added := s.c.parentLink(); parent != nil &&
-			int64(len(added)) <= incrementalMax.Load() {
+		parent, added := s.c.parentLink()
+		incremental := parent != nil && int64(len(added)) <= incrementalMax.Load()
+		if arrange.ShardingEnabled(s.c.in.Len()) {
+			// Sharded path: pairs classify against their shard's
+			// sub-arrangement; cross-shard pairs are Disjoint outright. The
+			// global arrangement is never stitched for this.
+			sh, err := s.sharded(ctx)
+			if err != nil {
+				return nil, err
+			}
+			if incremental {
+				if v, ok := parent.completed(artifactKey{kind: relationsKind}); ok {
+					addedIdx := make([]int, 0, len(added))
+					for _, n := range added {
+						addedIdx = append(addedIdx, sh.Plan.RegionIndex(n))
+					}
+					m, err := fourint.AllPairsShardedDelta(sh, boxes, addedIdx, v.(map[[2]string]Relation))
+					if err == nil {
+						return m, nil
+					}
+				}
+			}
+			return fourint.AllPairsSharded(sh, boxes)
+		}
+		a, err := s.arrangement(ctx)
+		if err != nil {
+			return nil, err
+		}
+		if incremental {
 			if v, ok := parent.completed(artifactKey{kind: relationsKind}); ok {
 				addedIdx := make([]int, 0, len(added))
 				for _, n := range added {

@@ -11,6 +11,7 @@ import (
 	"sort"
 	"strconv"
 	"testing"
+	"time"
 
 	"topodb"
 	"topodb/internal/arrange"
@@ -83,10 +84,104 @@ func allPairs(a *arrange.Arrangement, prune bool) testing.BenchmarkResult {
 	})
 }
 
+// minTimed measures fn k times and reports the fastest run as a
+// single-iteration result. The metro-scale builds take whole seconds per
+// iteration, so testing.Benchmark would report one unrepeated sample;
+// on a shared runner steal time only ever inflates a sample, making the
+// minimum the robust estimator of the true cost.
+func minTimed(k int, fn func()) testing.BenchmarkResult {
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < k; i++ {
+		t0 := time.Now()
+		fn()
+		if el := time.Since(t0); el < best {
+			best = el
+		}
+	}
+	return testing.BenchmarkResult{N: 1, T: best}
+}
+
 // collectBench runs the performance baseline and returns the
 // machine-readable document.
 func collectBench() benchDoc {
 	var rows []benchRow
+
+	// Sharded sub-arrangements at metro scale: n=10k regions in 2500
+	// box-disjoint districts. Cold build fans the shards out over the
+	// worker pool and each shard's labeling touches only its own regions,
+	// so the win over the monolithic sweep — whose cell labeling is
+	// O(cells x n) — is asymptotic, not parallelism (the gate must hold
+	// on one core). The incremental rows extend the parent by one far
+	// region: only the new region's shard is built, every other
+	// sub-arrangement is aliased from the parent generation. This family
+	// runs first, while the live heap is still small: the 10k-region
+	// builds allocate enough to be GC-paced, and measuring them against a
+	// heap of leftover artifacts from other families skews both sides.
+	{
+		const metroN = 10000
+		oldBudget := arrange.SetRegionBudget(200000)
+		ctx := context.Background()
+		metro := workload.MetroGrid(metroN, 2, 0)
+
+		// Both timed loops discard their results: retaining one build's
+		// output while timing the next doubles the GC target and flatters
+		// whichever side runs second.
+		rows = append(rows, row("sharded_build", "metro_grid", metroN, "sharded",
+			minTimed(5, func() {
+				_, err := arrange.BuildSharded(ctx, metro)
+				check(err)
+			})))
+		rows = append(rows, row("sharded_build", "metro_grid", metroN, "monolithic",
+			minTimed(2, func() {
+				_, err := arrange.Build(metro)
+				check(err)
+			})))
+
+		parent, err := arrange.BuildSharded(ctx, metro)
+		check(err)
+		grown := metro.Clone()
+		grown.MustAdd("Znew", region.MustRect(1000000, 1000000, 1000004, 1000004))
+		rows = append(rows, row("sharded_incremental_add", "metro_grid", metroN, "incremental",
+			minTimed(10, func() {
+				_, err := arrange.InsertSharded(ctx, parent, grown, "Znew")
+				check(err)
+			})))
+		rows = append(rows, row("sharded_incremental_add", "metro_grid", metroN, "cold",
+			minTimed(3, func() {
+				_, err := arrange.BuildSharded(ctx, grown)
+				check(err)
+			})))
+
+		// Stitched point location — route to one shard, locate inside its
+		// small complex — vs the monolithic indexed locator over the full
+		// 10k-region arrangement. Sub-second per op, so testing.Benchmark
+		// repeats these plenty.
+		mono, err := arrange.Build(metro)
+		check(err)
+		var pts []geom.Pt
+		for fi := 0; fi < len(mono.Faces); fi += 53 {
+			pts = append(pts, mono.Faces[fi].Sample)
+		}
+		if _, err := mono.FaceOfPoint(pts[0]); err != nil { // warm the index
+			check(err)
+		}
+		parent.Locate(pts[0]) // warm the shard route index
+		rows = append(rows, row("sharded_locate", "metro_grid", metroN, "sharded",
+			testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					parent.Locate(pts[i%len(pts)])
+				}
+			})))
+		rows = append(rows, row("sharded_locate", "metro_grid", metroN, "monolithic",
+			testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := mono.FaceOfPoint(pts[i%len(pts)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})))
+		arrange.SetRegionBudget(oldBudget)
+	}
 
 	// Cold arrangement construction, sweep vs all-pairs reference.
 	type buildCase struct {
@@ -310,6 +405,10 @@ var speedupPairs = map[string][2]string{
 	"large_incremental_add": {"incremental", "cold"},
 	"point_location":        {"indexed", "scan"},
 	"serve_coalesce":        {"on", "off"},
+
+	"sharded_build":           {"sharded", "monolithic"},
+	"sharded_incremental_add": {"incremental", "cold"},
+	"sharded_locate":          {"sharded", "monolithic"},
 }
 
 // newestBaseline returns the committed BENCH_prN.json with the highest N
@@ -403,6 +502,18 @@ func compareBench(baselinePath string) {
 			// The incremental path must stay clearly ahead of a cold
 			// rebuild at every scale, including the 1024-region rows.
 			floor = 5
+		}
+		if r.Name == "sharded_build" && floor < 5 {
+			// The sharded cold build's win is asymptotic (shard-local
+			// labeling), so it carries an absolute floor: at least 5x over
+			// the monolithic sweep at n=10k on any machine.
+			floor = 5
+		}
+		if r.Name == "sharded_incremental_add" && floor < 10 {
+			// A one-region extension rebuilds one shard out of thousands;
+			// anything under 10x over the sharded cold build means the
+			// delta path stopped being shard-local.
+			floor = 10
 		}
 		if r.Name == "serve_coalesce" {
 			// The wall-clock win of coalescing scales with how many cores

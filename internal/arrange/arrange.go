@@ -16,7 +16,6 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"sort"
 	"sync"
 
 	"topodb/internal/geom"
@@ -280,9 +279,9 @@ type ownedSeg struct {
 
 // buildGraph converts split pieces to vertices and edges with half-edges.
 func (a *Arrangement) buildGraph(pieces []ownedSeg) {
-	vidx := make(map[string]int)
+	vidx := make(map[ptKey]int)
 	getV := func(p geom.Pt) int {
-		k := p.Key()
+		k := keyOfPt(p)
 		if i, ok := vidx[k]; ok {
 			return i
 		}
@@ -303,6 +302,26 @@ func (a *Arrangement) buildGraph(pieces []ownedSeg) {
 		a.Verts[v1].Out = append(a.Verts[v1].Out, h1)
 		a.Verts[v2].Out = append(a.Verts[v2].Out, h2)
 	}
+}
+
+// ptKey is a comparable map key for exact points. Coordinates in rat's
+// inline representation are keyed by their canonical (num, den) pairs;
+// a point with any big-backed coordinate falls back to its canonical
+// string in str (empty otherwise). Equal points yield equal keys either
+// way — rat normalizes back to the inline form whenever a value fits —
+// and the common all-inline case never formats a string.
+type ptKey struct {
+	xn, xd, yn, yd int64
+	str            string
+}
+
+func keyOfPt(p geom.Pt) ptKey {
+	if xn, xd, ok := p.X.SmallKey(); ok {
+		if yn, yd, ok := p.Y.SmallKey(); ok {
+			return ptKey{xn: xn, xd: xd, yn: yn, yd: yd}
+		}
+	}
+	return ptKey{str: p.Key()}
 }
 
 // dir returns the direction vector of half-edge h from its origin.
@@ -328,9 +347,23 @@ func (a *Arrangement) Head(h int) int {
 func (a *Arrangement) buildRotation() {
 	for vi := range a.Verts {
 		v := &a.Verts[vi]
-		sort.Slice(v.Out, func(i, j int) bool {
-			return geom.AngleLess(a.dir(v.Out[i]), a.dir(v.Out[j]))
-		})
+		// Vertex degrees are tiny (4 for a plain crossing), so an
+		// insertion sort beats sort.Slice's per-call reflection setup by
+		// a wide margin — and with one arrangement per shard that setup
+		// used to run once per vertex per shard. Directions around a
+		// vertex are pairwise distinct (edges are interior-disjoint), so
+		// any comparison sort yields the same cyclic order.
+		out := v.Out
+		for i := 1; i < len(out); i++ {
+			h := out[i]
+			d := a.dir(h)
+			j := i - 1
+			for j >= 0 && geom.AngleLess(d, a.dir(out[j])) {
+				out[j+1] = out[j]
+				j--
+			}
+			out[j+1] = h
+		}
 	}
 	// Next pointers: traversing with the face on the LEFT, the successor
 	// of h at its head vertex w is the rotational predecessor of twin(h)

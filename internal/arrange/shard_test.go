@@ -1,0 +1,286 @@
+package arrange
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"topodb/internal/geom"
+	"topodb/internal/rat"
+	"topodb/internal/region"
+	"topodb/internal/spatial"
+	"topodb/internal/workload"
+)
+
+// shardEquivCases are the workloads the sharded pipeline must reproduce
+// byte-for-byte: many tiny shards, a single giant shard, nested shards,
+// shared borders, and the metro mosaics sharding is built for.
+func shardEquivCases() map[string]*spatial.Instance {
+	return map[string]*spatial.Instance{
+		"rect_grid":      workload.RectGrid(4),
+		"overlap_chain":  workload.OverlapChain(8),
+		"nested_rings":   workload.NestedRings(4),
+		"county_mesh":    workload.CountyMesh(3),
+		"lens_stack":     workload.LensStack(5),
+		"sparse_scatter": workload.SparseScatter(48),
+		"city_blocks":    workload.CityBlocks(3),
+		"many_regions":   workload.ManyRegions(64),
+		"metro_plain":    workload.MetroGrid(36, 3, 0),
+		"metro_straddle": workload.MetroGrid(48, 2, 50),
+		"metro_arterial": workload.MetroGrid(32, 2, 100),
+		"nested_islands": nestedIslands(),
+		"single_region":  workload.RectGrid(1),
+	}
+}
+
+// frame adds four bars enclosing a courtyard: the bars' boxes pairwise
+// touch (one shard), but the courtyard — a bounded all-Exterior face — is
+// outside every bar's box, so whole foreign shards can nest inside it.
+func frame(in *spatial.Instance, name string, x1, y1, x2, y2 int64) {
+	in.MustAdd(name+"_L", region.MustRect(x1, y1, x1+2, y2))
+	in.MustAdd(name+"_R", region.MustRect(x2-2, y1, x2, y2))
+	in.MustAdd(name+"_B", region.MustRect(x1, y1, x2, y1+2))
+	in.MustAdd(name+"_T", region.MustRect(x1, y2-2, x2, y2))
+}
+
+// nestedIslands puts whole clusters inside another cluster's faces — the
+// stitcher's hardest case: shard nesting resolution and courtyard sample
+// recasting, two levels deep.
+func nestedIslands() *spatial.Instance {
+	in := spatial.New()
+	frame(in, "Outer", 0, 0, 100, 100)
+	frame(in, "Mid", 10, 10, 60, 60)
+	in.MustAdd("IslA1", region.MustRect(20, 20, 30, 30))
+	in.MustAdd("IslA2", region.MustRect(28, 28, 40, 36)) // overlaps IslA1: 2-region island
+	in.MustAdd("IslB", region.MustRect(70, 70, 90, 90))  // inside Outer, outside Mid
+	in.MustAdd("Far", region.MustRect(200, 0, 210, 10))  // outside everything
+	return in
+}
+
+// stitched builds the sharded artifact and stitches it back to a global
+// arrangement, failing the test on any error.
+func stitched(t *testing.T, in *spatial.Instance) (*Sharded, *Arrangement) {
+	t.Helper()
+	sh, err := BuildSharded(context.Background(), in)
+	if err != nil {
+		t.Fatalf("BuildSharded: %v", err)
+	}
+	a, err := Stitch(context.Background(), sh)
+	if err != nil {
+		t.Fatalf("Stitch: %v", err)
+	}
+	return sh, a
+}
+
+// faceSamples fingerprints the face samples (which cellFingerprint leaves
+// out): the multiset of (label, sample point) pairs must match too, since
+// downstream query evaluation reads samples.
+func faceSamples(a *Arrangement) string {
+	rows := make([]string, 0, len(a.Faces))
+	for fi := range a.Faces {
+		f := &a.Faces[fi]
+		rows = append(rows, fmt.Sprintf("%v|%s|%s", f.Bounded, f.Label.Key(), f.Sample.Key()))
+	}
+	sort.Strings(rows)
+	return strings.Join(rows, "\n")
+}
+
+func locLabel(a *Arrangement, l Loc) Label {
+	switch l.Kind {
+	case LocVertex:
+		return a.Verts[l.Index].Label
+	case LocEdge:
+		return a.Edges[l.Index].Label
+	default:
+		return a.Faces[l.Index].Label
+	}
+}
+
+func TestShardedMatchesMonolithic(t *testing.T) {
+	for name, in := range shardEquivCases() {
+		t.Run(name, func(t *testing.T) {
+			mono, err := Build(in)
+			if err != nil {
+				t.Fatalf("Build: %v", err)
+			}
+			sh, st := stitched(t, in)
+			if got, want := cellFingerprint(st), cellFingerprint(mono); got != want {
+				t.Fatalf("stitched cell fingerprint diverges from monolithic (%d shards)", sh.NumShards())
+			}
+			if got, want := faceSamples(st), faceSamples(mono); got != want {
+				t.Fatalf("stitched face samples diverge from monolithic:\n%s\n--- want ---\n%s", got, want)
+			}
+			if st.Exterior != len(st.Faces)-1 {
+				t.Fatalf("stitched exterior not last: %d of %d", st.Exterior, len(st.Faces))
+			}
+			// Sharded point location must agree with the monolithic cell
+			// labels on a probe lattice spanning past the bounding box.
+			step := int64(3)
+			for x := int64(-1); x < 60; x += step {
+				for y := int64(-1); y < 60; y += step {
+					p := geom.Pt{X: rat.FromInt(x), Y: rat.FromInt(y)}
+					want := locLabel(mono, mono.Locate(p))
+					got := sh.Label(sh.Locate(p))
+					if got.Key() != want.Key() {
+						t.Fatalf("Locate(%s): sharded label %s, monolithic %s", p, got.Key(), want.Key())
+					}
+				}
+			}
+			one, multi := sh.RoutingCounts()
+			if one+multi == 0 {
+				t.Fatalf("routing counters never advanced")
+			}
+		})
+	}
+}
+
+func TestStitchSingleShardAliases(t *testing.T) {
+	in := workload.OverlapChain(6)
+	sh, st := stitched(t, in)
+	if sh.NumShards() != 1 {
+		t.Fatalf("OverlapChain split into %d shards", sh.NumShards())
+	}
+	if st != sh.Subs[0] {
+		t.Fatalf("single-shard stitch should alias the sub-arrangement")
+	}
+}
+
+func TestMatrixShardCrossShardDisjoint(t *testing.T) {
+	in := workload.MetroGrid(36, 3, 0)
+	sh, _ := stitched(t, in)
+	if sh.NumShards() < 2 {
+		t.Fatalf("want multiple shards, got %d", sh.NumShards())
+	}
+	boxes := in.Boxes()
+	for ri := 0; ri < len(sh.Names); ri += 7 {
+		for rj := 0; rj < len(sh.Names); rj += 5 {
+			c := sh.MatrixShard(ri, rj)
+			if (c >= 0) != (sh.Plan.Shard[ri] == sh.Plan.Shard[rj]) {
+				t.Fatalf("MatrixShard(%d,%d)=%d inconsistent with plan", ri, rj, c)
+			}
+			if c < 0 && boxes[ri].Intersects(boxes[rj]) {
+				// Cross-shard pairs must be genuinely box-disjoint so the
+				// Disjoint shortcut is exact.
+				t.Fatalf("cross-shard regions %d,%d have intersecting boxes", ri, rj)
+			}
+		}
+	}
+}
+
+func TestPlanShardsStraddleMerges(t *testing.T) {
+	base := PlanShards(workload.MetroGrid(64, 2, 0))
+	merged := PlanShards(workload.MetroGrid(64, 2, 100))
+	if base.NumShards() != 16 {
+		t.Fatalf("straddle-free 16-district mosaic: want 16 shards, got %d", base.NumShards())
+	}
+	if merged.NumShards() >= base.NumShards() {
+		t.Fatalf("straddle=100 should merge shards: %d vs %d", merged.NumShards(), base.NumShards())
+	}
+	// Determinism: same parameters, same plan.
+	again := PlanShards(workload.MetroGrid(64, 2, 100))
+	if fmt.Sprint(again.Members) != fmt.Sprint(merged.Members) || fmt.Sprint(again.Shard) != fmt.Sprint(merged.Shard) {
+		t.Fatalf("PlanShards not deterministic")
+	}
+}
+
+func TestInsertShardedChainedRandomOrders(t *testing.T) {
+	for name, full := range map[string]*spatial.Instance{
+		"metro":   workload.MetroGrid(48, 2, 50),
+		"scatter": workload.SparseScatter(40),
+	} {
+		t.Run(name, func(t *testing.T) {
+			names := full.Names()
+			for seed := int64(1); seed <= 3; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				order := rng.Perm(len(names))
+				cur := spatial.New()
+				for _, oi := range order[:len(names)/3] {
+					cur.MustAdd(names[oi], full.MustExt(names[oi]))
+				}
+				sh, err := BuildSharded(context.Background(), cur)
+				if err != nil {
+					t.Fatalf("seed %d: BuildSharded: %v", seed, err)
+				}
+				rest := order[len(names)/3:]
+				for len(rest) > 0 {
+					k := 1 + rng.Intn(5)
+					if k > len(rest) {
+						k = len(rest)
+					}
+					added := make([]string, 0, k)
+					for _, oi := range rest[:k] {
+						added = append(added, names[oi])
+						cur.MustAdd(names[oi], full.MustExt(names[oi]))
+					}
+					rest = rest[k:]
+					next, err := InsertSharded(context.Background(), sh, cur, added...)
+					if err != nil {
+						t.Fatalf("seed %d: InsertSharded(+%d): %v", seed, k, err)
+					}
+					sh = next
+				}
+				mono, err := Build(cur)
+				if err != nil {
+					t.Fatalf("seed %d: Build: %v", seed, err)
+				}
+				st, err := Stitch(context.Background(), sh)
+				if err != nil {
+					t.Fatalf("seed %d: Stitch: %v", seed, err)
+				}
+				if cellFingerprint(st) != cellFingerprint(mono) {
+					t.Fatalf("seed %d: chained InsertSharded fingerprint diverges from monolithic", seed)
+				}
+				// Samples after incremental maintenance are valid interior
+				// points but not byte-pinned (true of monolithic Insert
+				// too): check them against the geometry instead.
+				validateArrangement(t, st, cur)
+			}
+		})
+	}
+}
+
+func TestInsertShardedAliasesUntouchedShards(t *testing.T) {
+	in := workload.MetroGrid(36, 3, 0) // 4 disjoint districts
+	sh, err := BuildSharded(context.Background(), in)
+	if err != nil {
+		t.Fatalf("BuildSharded: %v", err)
+	}
+	next := in.Clone()
+	next.MustAdd("Zz_far", region.MustRect(10000, 10000, 10004, 10004))
+	sh2, err := InsertSharded(context.Background(), sh, next, "Zz_far")
+	if err != nil {
+		t.Fatalf("InsertSharded: %v", err)
+	}
+	aliased := 0
+	for _, sub := range sh2.Subs {
+		for _, old := range sh.Subs {
+			if sub == old {
+				aliased++
+			}
+		}
+	}
+	if aliased != sh.NumShards() {
+		t.Fatalf("want all %d untouched shards aliased, got %d", sh.NumShards(), aliased)
+	}
+}
+
+func TestBuildShardedCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := BuildSharded(ctx, workload.MetroGrid(36, 3, 0)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	sh, err := BuildSharded(context.Background(), workload.MetroGrid(36, 3, 0))
+	if err != nil {
+		t.Fatalf("BuildSharded: %v", err)
+	}
+	next := workload.MetroGrid(36, 3, 0)
+	next.MustAdd("Zz_far", region.MustRect(10000, 10000, 10004, 10004))
+	if _, err := InsertSharded(ctx, sh, next, "Zz_far"); !errors.Is(err, context.Canceled) {
+		t.Fatalf("InsertSharded: want context.Canceled, got %v", err)
+	}
+}

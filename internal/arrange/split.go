@@ -108,6 +108,15 @@ func appendInter(buf []cut, i, j int, inter geom.Intersection) []cut {
 func findCutsNaive(ctx context.Context, segs []ownedSeg, parallel bool) ([][]geom.Pt, error) {
 	n := len(segs)
 	cuts := newCutTable(segs)
+	// Precompute the per-segment boxes once: geom.Intersect would rebuild
+	// both boxes on every pair, and with n(n-1)/2 pairs that recomputation
+	// dominates the tiny inputs this path exists for. The box test itself
+	// is unchanged, so the pair set reaching the exact intersection — and
+	// therefore the output — is byte-identical.
+	boxes := make([]geom.Box, n)
+	for i := range segs {
+		boxes[i] = geom.SegBox(segs[i].s)
+	}
 	shards := 1
 	if parallel {
 		shards = par.Shards(n)
@@ -119,7 +128,10 @@ func findCutsNaive(ctx context.Context, segs []ownedSeg, parallel bool) ([][]geo
 				return nil, canceled(ctx)
 			}
 			for j := i + 1; j < n; j++ {
-				buf = appendInter(buf[:0], i, j, geom.Intersect(segs[i].s, segs[j].s))
+				if !boxes[i].Intersects(boxes[j]) {
+					continue
+				}
+				buf = appendInter(buf[:0], i, j, geom.IntersectPrefiltered(segs[i].s, segs[j].s))
 				for _, c := range buf {
 					cuts[c.row] = append(cuts[c.row], c.p)
 				}
@@ -138,7 +150,10 @@ func findCutsNaive(ctx context.Context, segs []ownedSeg, parallel bool) ([][]geo
 		}
 		buf := locals[w]
 		for j := i + 1; j < n; j++ {
-			buf = appendInter(buf, i, j, geom.Intersect(segs[i].s, segs[j].s))
+			if !boxes[i].Intersects(boxes[j]) {
+				continue
+			}
+			buf = appendInter(buf, i, j, geom.IntersectPrefiltered(segs[i].s, segs[j].s))
 		}
 		locals[w] = buf
 	})
@@ -247,19 +262,30 @@ func mergeCuts(cuts [][]geom.Pt, locals [][]cut) {
 // (unions interned into pool). The pass is sequential and the piece order
 // deterministic, so the pool's handle assignment is deterministic too.
 func assemblePieces(pool *OwnerPool, segs []ownedSeg, cuts [][]geom.Pt) []ownedSeg {
-	type pieceKey struct{ a, b string }
+	type pieceKey struct{ a, b ptKey }
 	merged := make(map[pieceKey]int)
 	var out []ownedSeg
 	for i := range segs {
 		pts := cuts[i]
 		// Points on a common line are totally ordered lexicographically.
-		sort.Slice(pts, func(a, b int) bool { return pts[a].Cmp(pts[b]) < 0 })
+		// Cut lists are short (a handful of crossings per segment), so an
+		// insertion sort avoids sort.Slice's reflection setup; equal
+		// points collapse in the dedup below, so tie order is immaterial.
+		for k := 1; k < len(pts); k++ {
+			p := pts[k]
+			j := k - 1
+			for j >= 0 && p.Cmp(pts[j]) < 0 {
+				pts[j+1] = pts[j]
+				j--
+			}
+			pts[j+1] = p
+		}
 		for k := 0; k+1 < len(pts); k++ {
 			a, b := pts[k], pts[k+1]
 			if a.Equal(b) {
 				continue
 			}
-			key := pieceKey{a.Key(), b.Key()}
+			key := pieceKey{keyOfPt(a), keyOfPt(b)}
 			if idx, ok := merged[key]; ok {
 				out[idx].o = pool.Union(out[idx].o, segs[i].o)
 				continue

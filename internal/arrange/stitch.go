@@ -1,0 +1,304 @@
+package arrange
+
+import (
+	"context"
+	"fmt"
+
+	"topodb/internal/geom"
+	"topodb/internal/rat"
+)
+
+// Stitch composes the exact global arrangement from the sharded artifact.
+// The result is cell-for-cell identical to a monolithic Build of the same
+// instance — identical vertex and edge point sets, walks, face areas,
+// samples and labels — so every canonical encoding derived from it
+// (invariant, fingerprints) is byte-identical to the monolithic path's.
+// Cell array order and owner-pool handle numbering may differ; nothing
+// downstream depends on either.
+//
+// Why composition is exact: shards are the connected components of the
+// closed box-overlap graph, so distinct shards' skeletons live in
+// disjoint closed box unions. Cross-shard segments never intersect,
+// every vertex, edge, walk and rotation order is shard-local, and every
+// shard cell is Exterior to every foreign region (a shard's points lie in
+// its own member boxes, disjoint from all foreign boxes) — so padding
+// local labels with Exterior reproduces the global labels. The one
+// genuinely global computation is nesting: a whole shard can sit inside
+// another shard's face. Because a shard's box union is connected and
+// disjoint from every foreign skeleton, the shard lies entirely inside or
+// entirely outside each foreign face, so one point location per shard
+// resolves it — and the innermost (smallest-Area2) containing face is the
+// direct parent, exactly the monolithic nesting rule. Such a "courtyard"
+// face gains the shard's outer walks and has its interior sample recast
+// with them, which is the same computation the monolithic build runs.
+func Stitch(ctx context.Context, sh *Sharded) (*Arrangement, error) {
+	if len(sh.Subs) == 1 {
+		// A single shard's sub-instance is the whole instance: its
+		// arrangement already is the global one.
+		return sh.Subs[0], nil
+	}
+
+	// Global exterior face index: all bounded faces first, f0 last (the
+	// cold build's convention).
+	nBF := 0
+	totV, totE, totH, totW, totC := 0, 0, 0, 0, 0
+	for _, sub := range sh.Subs {
+		nBF += len(sub.Faces) - 1
+		totV += len(sub.Verts)
+		totE += len(sub.Edges)
+		totH += len(sub.Half)
+		totW += len(sub.walkArea)
+		totC += len(sub.Comps)
+	}
+	exterior := nBF
+
+	// Resolve each shard's global parent face: the innermost bounded
+	// foreign face containing the shard, or the global exterior. Shard-box
+	// candidates come from the routing index; any vertex of the shard is a
+	// valid representative (the whole shard is on one side of every
+	// foreign face boundary).
+	sh.ensureRouteIndex()
+	resolved := make([]int, len(sh.Subs)) // shard -> global parent face id
+	fOff := make([]int, len(sh.Subs)+1)
+	for c, sub := range sh.Subs {
+		fOff[c+1] = fOff[c] + len(sub.Faces) - 1
+	}
+	fmapAt := func(c, fi int) int {
+		if fi > sh.Subs[c].Exterior {
+			return fOff[c] + fi - 1
+		}
+		return fOff[c] + fi
+	}
+	for c, sub := range sh.Subs {
+		if ctx.Err() != nil {
+			return nil, canceled(ctx)
+		}
+		p := sub.Verts[0].P
+		best, bestShard := -1, -1
+		var bestArea rat.R
+		for _, xi := range sh.route.tree.Stab(p.X, sh.route.lo, sh.route.hi, nil) {
+			x := int(xi)
+			if x == c {
+				continue
+			}
+			sx := sh.Subs[x]
+			if !sx.bbox.MinY.LessEq(p.Y) || !p.Y.LessEq(sx.bbox.MaxY) {
+				continue
+			}
+			loc := sx.Locate(p)
+			if loc.Kind != LocFace {
+				return nil, fmt.Errorf("arrange: stitch: shard %d representative %s lies on shard %d's skeleton", c, p, x)
+			}
+			if loc.Index == sx.Exterior {
+				continue
+			}
+			if f := &sx.Faces[loc.Index]; best == -1 || f.Area2.Less(bestArea) {
+				best, bestShard, bestArea = loc.Index, x, f.Area2
+			}
+		}
+		if best == -1 {
+			resolved[c] = exterior
+		} else {
+			resolved[c] = fmapAt(bestShard, best)
+		}
+	}
+
+	// Assemble with per-shard offsets. Labels pad to the global width in
+	// one zeroed backing array — the zero Sign is Exterior, which is the
+	// exact sign of every cell for every foreign region — with the local
+	// signs scattered to the members' global slots.
+	n := len(sh.Names)
+	a := &Arrangement{
+		Names:    sh.Names,
+		Verts:    make([]Vertex, 0, totV),
+		Edges:    make([]Edge, 0, totE),
+		Half:     make([]HalfEdge, 0, totH),
+		Faces:    make([]Face, 0, nBF+1),
+		Comps:    make([]Component, 0, totC),
+		Exterior: exterior,
+		Pool:     NewOwnerPool(),
+		index:    make(map[string]int, n),
+		walkOf:   make([]int32, 0, totH),
+		walkArea: make([]rat.R, 0, totW),
+		walkMin:  make([]int32, 0, totW),
+		faceBox:  make([]geom.Box, nBF+1),
+	}
+	for i, name := range sh.Names {
+		a.index[name] = i
+	}
+	backing := make([]Sign, (nBF+1+totE+totV)*n)
+	nextLabel := 0
+	takeLabel := func() Label {
+		l := Label(backing[nextLabel*n : (nextLabel+1)*n : (nextLabel+1)*n])
+		nextLabel++
+		return l
+	}
+
+	vOff, eOff, hOff, wOff, cOff := 0, 0, 0, 0, 0
+	hostGained := make([]bool, nBF+1)
+	var exteriorWalks []int
+	// Root-walk attachments into host faces are deferred: a shard can
+	// resolve into a face of a shard not yet assembled.
+	type attach struct{ face, walk int }
+	var attachments []attach
+	for c, sub := range sh.Subs {
+		if ctx.Err() != nil {
+			return nil, canceled(ctx)
+		}
+		members := sh.Plan.Members[c]
+		pad := func(dst Label, l Label) {
+			for li, s := range l {
+				if s != Exterior {
+					dst[members[li]] = s
+				}
+			}
+		}
+		ownerRemap := make(map[Owners]Owners)
+		remapOwners := func(o Owners) Owners {
+			if g, ok := ownerRemap[o]; ok {
+				return g
+			}
+			g := NoOwners
+			for _, li := range sub.Pool.Members(o) {
+				g = a.Pool.With(g, members[li])
+			}
+			ownerRemap[o] = g
+			return g
+		}
+
+		for vi := range sub.Verts {
+			v := sub.Verts[vi]
+			out := make([]int, len(v.Out))
+			for k, h := range v.Out {
+				out[k] = h + hOff
+			}
+			l := takeLabel()
+			pad(l, v.Label)
+			a.Verts = append(a.Verts, Vertex{P: v.P, Out: out, Comp: v.Comp + cOff, Label: l})
+		}
+		for ei := range sub.Edges {
+			e := sub.Edges[ei]
+			l := takeLabel()
+			pad(l, e.Label)
+			a.Edges = append(a.Edges, Edge{
+				V1: e.V1 + vOff, V2: e.V2 + vOff,
+				Owners: remapOwners(e.Owners),
+				H1:     e.H1 + hOff, H2: e.H2 + hOff,
+				Label: l, Comp: e.Comp + cOff,
+			})
+		}
+		for hi := range sub.Half {
+			h := sub.Half[hi]
+			face := resolved[c]
+			if h.Face != sub.Exterior {
+				face = fmapAt(c, h.Face)
+			}
+			a.Half = append(a.Half, HalfEdge{
+				Edge: h.Edge + eOff, Origin: h.Origin + vOff,
+				Twin: h.Twin + hOff, Next: h.Next + hOff,
+				Face: face, walk: h.walk + wOff,
+			})
+		}
+		for fi := range sub.Faces {
+			if fi == sub.Exterior {
+				continue
+			}
+			f := sub.Faces[fi]
+			walks := make([]int, len(f.Walks))
+			for k, w := range f.Walks {
+				walks[k] = w + hOff
+			}
+			l := takeLabel()
+			pad(l, f.Label)
+			gfi := len(a.Faces)
+			a.Faces = append(a.Faces, Face{
+				Walks: walks, Bounded: true, Comp: f.Comp + cOff,
+				Label: l, Sample: f.Sample, Area2: f.Area2,
+			})
+			a.faceBox[gfi] = sub.faceBox[fi]
+		}
+		for ci := range sub.Comps {
+			sc := sub.Comps[ci]
+			verts := make([]int, len(sc.Verts))
+			for k, v := range sc.Verts {
+				verts[k] = v + vOff
+			}
+			edges := make([]int, len(sc.Edges))
+			for k, e := range sc.Edges {
+				edges[k] = e + eOff
+			}
+			parent := resolved[c]
+			if sc.ParentFace != sub.Exterior {
+				parent = fmapAt(c, sc.ParentFace)
+			} else if parent != exterior {
+				hostGained[parent] = true
+			}
+			a.Comps = append(a.Comps, Component{
+				Verts: verts, Edges: edges,
+				OuterWalk:  sc.OuterWalk + hOff,
+				ParentFace: parent,
+				RootVertex: sc.RootVertex + vOff,
+			})
+			// Root components attach their outer walk to the resolved
+			// parent — the stitched analogue of the nesting pass's walk
+			// attachment. Non-root walks arrived with their face copy.
+			if sc.ParentFace == sub.Exterior {
+				if parent == exterior {
+					exteriorWalks = append(exteriorWalks, sc.OuterWalk+hOff)
+				} else {
+					attachments = append(attachments, attach{parent, sc.OuterWalk + hOff})
+				}
+			}
+		}
+		for _, w := range sub.walkOf {
+			a.walkOf = append(a.walkOf, w+int32(wOff))
+		}
+		a.walkArea = append(a.walkArea, sub.walkArea...)
+		for _, m := range sub.walkMin {
+			a.walkMin = append(a.walkMin, m+int32(hOff))
+		}
+		if c == 0 {
+			a.bbox = sub.bbox
+		} else {
+			a.bbox = a.bbox.Union(sub.bbox)
+		}
+		vOff += len(sub.Verts)
+		eOff += len(sub.Edges)
+		hOff += len(sub.Half)
+		wOff += len(sub.walkArea)
+		cOff += len(sub.Comps)
+	}
+
+	for _, at := range attachments {
+		a.Faces[at.face].Walks = append(a.Faces[at.face].Walks, at.walk)
+	}
+
+	// The global exterior face: every shard resolved to the outside
+	// contributes its root walks; the all-Exterior label is the untouched
+	// zero backing; the sample sits past the global box like the cold
+	// build's.
+	a.Faces = append(a.Faces, Face{
+		Walks: exteriorWalks, Bounded: false, Comp: -1,
+		Label:  takeLabel(),
+		Sample: geom.Pt{X: a.bbox.MaxX.Add(rat.One), Y: a.bbox.MaxY.Add(rat.One)},
+	})
+
+	// Courtyard faces that gained foreign walks recast their sample over
+	// the full walk set — the identical computation (and result) as the
+	// monolithic sampling pass, which also runs after walk attachment.
+	for fi, gained := range hostGained {
+		if !gained {
+			continue
+		}
+		if ctx.Err() != nil {
+			return nil, canceled(ctx)
+		}
+		f := &a.Faces[fi]
+		sample, err := a.samplePastHalfEdge(f.Walks[0], a.bbox, f.Walks)
+		if err != nil {
+			return nil, fmt.Errorf("arrange: stitch: face %d: %w", fi, err)
+		}
+		f.Sample = sample
+	}
+	return a, nil
+}

@@ -1,0 +1,88 @@
+package fourint
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"topodb/internal/arrange"
+	"topodb/internal/spatial"
+	"topodb/internal/workload"
+)
+
+func shardedOf(t *testing.T, in *spatial.Instance) *arrange.Sharded {
+	t.Helper()
+	sh, err := arrange.BuildSharded(context.Background(), in)
+	if err != nil {
+		t.Fatalf("BuildSharded: %v", err)
+	}
+	return sh
+}
+
+// TestAllPairsShardedMatches checks the sharded relation table against the
+// monolithic classifier on shard-friendly and shard-hostile workloads —
+// with the box prune on and off, since the cross-shard Disjoint shortcut
+// must be exact independently of pruning.
+func TestAllPairsShardedMatches(t *testing.T) {
+	for name, in := range map[string]*spatial.Instance{
+		"rect_grid":      workload.RectGrid(3),
+		"overlap_chain":  workload.OverlapChain(6),
+		"county_mesh":    workload.CountyMesh(3),
+		"sparse_scatter": workload.SparseScatter(32),
+		"metro_straddle": workload.MetroGrid(48, 2, 50),
+	} {
+		t.Run(name, func(t *testing.T) {
+			want, err := AllPairs(in)
+			if err != nil {
+				t.Fatalf("AllPairs: %v", err)
+			}
+			sh := shardedOf(t, in)
+			for _, prune := range []bool{true, false} {
+				prev := SetBoxPrune(prune)
+				got, err := AllPairsSharded(sh, in.Boxes())
+				SetBoxPrune(prev)
+				if err != nil {
+					t.Fatalf("AllPairsSharded(prune=%v): %v", prune, err)
+				}
+				if !reflect.DeepEqual(got, want) {
+					t.Fatalf("AllPairsSharded(prune=%v) diverges from monolithic table", prune)
+				}
+			}
+		})
+	}
+}
+
+func TestAllPairsShardedDeltaMatches(t *testing.T) {
+	full := workload.MetroGrid(48, 2, 50)
+	names := full.Names()
+	base := spatial.New()
+	for _, n := range names[:40] {
+		base.MustAdd(n, full.MustExt(n))
+	}
+	parentSh := shardedOf(t, base)
+	parent, err := AllPairsSharded(parentSh, base.Boxes())
+	if err != nil {
+		t.Fatalf("parent table: %v", err)
+	}
+	sh := shardedOf(t, full)
+	var addedIdx []int
+	for i, n := range names {
+		if _, ok := base.Ext(n); !ok {
+			addedIdx = append(addedIdx, i)
+		}
+	}
+	got, err := AllPairsShardedDelta(sh, full.Boxes(), addedIdx, parent)
+	if err != nil {
+		t.Fatalf("AllPairsShardedDelta: %v", err)
+	}
+	want, err := AllPairs(full)
+	if err != nil {
+		t.Fatalf("AllPairs: %v", err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("sharded delta table diverges from monolithic table")
+	}
+	if _, err := AllPairsShardedDelta(sh, full.Boxes(), addedIdx, map[[2]string]Relation{}); err == nil {
+		t.Fatalf("want error for pre-existing pair missing from parent")
+	}
+}

@@ -140,8 +140,18 @@ func (b Box) ContainsPt(p Pt) bool {
 		b.MinY.LessEq(p.Y) && p.Y.LessEq(b.MaxY)
 }
 
-// SegBox returns the bounding box of a segment.
-func SegBox(s Seg) Box { return BoxOf(s.A, s.B) }
+// SegBox returns the bounding box of a segment. It avoids the variadic
+// BoxOf: arrangement construction computes a box per segment (and the
+// quadratic reference path one per pair), and the variadic slice escapes
+// on every call.
+func SegBox(s Seg) Box {
+	b := Box{s.A.X, s.A.Y, s.A.X, s.A.Y}
+	b.MinX = rat.Min(b.MinX, s.B.X)
+	b.MinY = rat.Min(b.MinY, s.B.Y)
+	b.MaxX = rat.Max(b.MaxX, s.B.X)
+	b.MaxY = rat.Max(b.MaxY, s.B.Y)
+	return b
+}
 
 // IntersectKind classifies the intersection of two segments.
 type IntersectKind int
@@ -176,6 +186,31 @@ func Intersect(s, t Seg) Intersection {
 // that have already established box overlap (the sweep in
 // internal/arrange keeps precomputed boxes) skip recomputing it.
 func IntersectPrefiltered(s, t Seg) Intersection {
+	// Axis-aligned fast path: rectilinear inputs (every box workload, and
+	// most GIS data) resolve with coordinate comparisons alone — no
+	// cross products, no division. The results are the exact values the
+	// generic path below would produce, in the same canonical rational
+	// representation, so outputs are byte-identical.
+	sv := s.A.X.Equal(s.B.X) && !s.A.Y.Equal(s.B.Y)
+	sh := s.A.Y.Equal(s.B.Y) && !s.A.X.Equal(s.B.X)
+	tv := t.A.X.Equal(t.B.X) && !t.A.Y.Equal(t.B.Y)
+	th := t.A.Y.Equal(t.B.Y) && !t.A.X.Equal(t.B.X)
+	switch {
+	case sv && tv:
+		if !s.A.X.Equal(t.A.X) {
+			return Intersection{Kind: NoIntersection}
+		}
+		return overlap1D(s.A.X, s.A.Y, s.B.Y, t.A.Y, t.B.Y, true)
+	case sh && th:
+		if !s.A.Y.Equal(t.A.Y) {
+			return Intersection{Kind: NoIntersection}
+		}
+		return overlap1D(s.A.Y, s.A.X, s.B.X, t.A.X, t.B.X, false)
+	case sv && th:
+		return crossVH(s, t)
+	case sh && tv:
+		return crossVH(t, s)
+	}
 	d1 := s.B.Sub(s.A)
 	d2 := t.B.Sub(t.A)
 	denom := Cross(d1, d2)
@@ -207,6 +242,55 @@ func IntersectPrefiltered(s, t Seg) Intersection {
 	default:
 		return Intersection{Kind: OverlapIntersection, P: lo, Q: hi}
 	}
+}
+
+// overlap1D intersects two collinear axis-parallel segments sharing the
+// fixed coordinate c: [a1,b1] and [a2,b2] are their ranges along the
+// varying axis (vertical=true means the varying axis is y). The interval
+// endpoints are ordered exactly as the generic collinear branch orders
+// points along the line, so the reported P/Q match it byte for byte.
+func overlap1D(c, a1, b1, a2, b2 rat.R, vertical bool) Intersection {
+	if b1.Less(a1) {
+		a1, b1 = b1, a1
+	}
+	if b2.Less(a2) {
+		a2, b2 = b2, a2
+	}
+	lo := rat.Max(a1, a2)
+	hi := rat.Min(b1, b2)
+	mk := func(v rat.R) Pt {
+		if vertical {
+			return Pt{X: c, Y: v}
+		}
+		return Pt{X: v, Y: c}
+	}
+	switch lo.Cmp(hi) {
+	case 1:
+		return Intersection{Kind: NoIntersection}
+	case 0:
+		return Intersection{Kind: PointIntersection, P: mk(lo)}
+	default:
+		return Intersection{Kind: OverlapIntersection, P: mk(lo), Q: mk(hi)}
+	}
+}
+
+// crossVH intersects a vertical segment v with a horizontal segment h:
+// they meet iff v's x lies in h's x-range and h's y lies in v's y-range,
+// and then exactly at that coordinate pair.
+func crossVH(v, h Seg) Intersection {
+	x, y := v.A.X, h.A.Y
+	xlo, xhi := h.A.X, h.B.X
+	if xhi.Less(xlo) {
+		xlo, xhi = xhi, xlo
+	}
+	ylo, yhi := v.A.Y, v.B.Y
+	if yhi.Less(ylo) {
+		ylo, yhi = yhi, ylo
+	}
+	if x.Less(xlo) || xhi.Less(x) || y.Less(ylo) || yhi.Less(y) {
+		return Intersection{Kind: NoIntersection}
+	}
+	return Intersection{Kind: PointIntersection, P: Pt{X: x, Y: y}}
 }
 
 func orderAlong(a, b Pt) (lo, hi Pt) {

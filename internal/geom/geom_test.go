@@ -327,3 +327,77 @@ func BenchmarkRingContains(b *testing.B) {
 		_ = RingContains(r, p)
 	}
 }
+
+// intersectGeneric is the cross-product reference path, verbatim: the
+// axis-aligned fast cases in IntersectPrefiltered must reproduce its
+// results byte for byte, representation included.
+func intersectGeneric(s, t Seg) Intersection {
+	d1 := s.B.Sub(s.A)
+	d2 := t.B.Sub(t.A)
+	denom := Cross(d1, d2)
+	if denom.Sign() != 0 {
+		diff := t.A.Sub(s.A)
+		u := Cross(diff, d2).Div(denom)
+		v := Cross(diff, d1).Div(denom)
+		if u.Sign() < 0 || rat.One.Less(u) || v.Sign() < 0 || rat.One.Less(v) {
+			return Intersection{Kind: NoIntersection}
+		}
+		return Intersection{Kind: PointIntersection, P: Lerp(s.A, s.B, u)}
+	}
+	if Orient(s.A, s.B, t.A) != 0 {
+		return Intersection{Kind: NoIntersection}
+	}
+	lo1, hi1 := orderAlong(s.A, s.B)
+	lo2, hi2 := orderAlong(t.A, t.B)
+	lo := maxPt(lo1, lo2)
+	hi := minPt(hi1, hi2)
+	switch lo.Cmp(hi) {
+	case 1:
+		return Intersection{Kind: NoIntersection}
+	case 0:
+		return Intersection{Kind: PointIntersection, P: lo}
+	default:
+		return Intersection{Kind: OverlapIntersection, P: lo, Q: hi}
+	}
+}
+
+// TestIntersectAxisAlignedMatchesGeneric exhaustively compares the
+// axis-aligned fast path against the generic reference over every pair of
+// nondegenerate segments on a 3x3 integer lattice — all orientations of
+// vertical/vertical, horizontal/horizontal, crossing, T-junction, corner
+// touch, collinear overlap, containment, and diagonal mixes.
+func TestIntersectAxisAlignedMatchesGeneric(t *testing.T) {
+	var pts []Pt
+	for x := int64(0); x <= 2; x++ {
+		for y := int64(0); y <= 2; y++ {
+			pts = append(pts, P(x, y))
+		}
+	}
+	var segs []Seg
+	for _, a := range pts {
+		for _, b := range pts {
+			if !a.Equal(b) {
+				segs = append(segs, Seg{A: a, B: b})
+			}
+		}
+	}
+	key := func(in Intersection) string {
+		switch in.Kind {
+		case PointIntersection:
+			return "P:" + in.P.Key()
+		case OverlapIntersection:
+			return "O:" + in.P.Key() + ";" + in.Q.Key()
+		default:
+			return "none"
+		}
+	}
+	for _, s := range segs {
+		for _, u := range segs {
+			got := IntersectPrefiltered(s, u)
+			want := intersectGeneric(s, u)
+			if key(got) != key(want) {
+				t.Fatalf("Intersect(%v, %v) = %v, reference %v", s, u, got, want)
+			}
+		}
+	}
+}

@@ -19,6 +19,7 @@
 package invariant
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -352,4 +353,17 @@ func (t *T) String() string {
 		fmt.Fprintf(&b, "  f%d%s label=%s edges=%v children=%v\n", i, ext, fc.Label, fc.Edges, fc.Children)
 	}
 	return b.String()
+}
+
+// FromSharded derives the invariant from a sharded artifact by stitching
+// the exact global arrangement first. Stitching preserves cells, labels
+// and nesting byte-for-byte (see arrange.Stitch), and Canonical is
+// independent of cell array order and pool handle numbering, so the
+// canonical encoding equals the monolithic path's exactly.
+func FromSharded(ctx context.Context, sh *arrange.Sharded) (*T, error) {
+	a, err := arrange.Stitch(ctx, sh)
+	if err != nil {
+		return nil, err
+	}
+	return FromArrangement(a)
 }

@@ -258,6 +258,18 @@ func (r R) Cmp(s R) int {
 	if r.isSmall() && s.isSmall() {
 		rn, rd := r.normSmall()
 		sn, sd := s.normSmall()
+		if rd == sd {
+			// Equal (positive) denominators: numerator order decides.
+			// Integer-coordinate inputs live on this path — den 1
+			// everywhere — so the common comparison never multiplies.
+			switch {
+			case rn < sn:
+				return -1
+			case rn > sn:
+				return 1
+			}
+			return 0
+		}
 		return CmpProd(rn, sd, sn, rd)
 	}
 	return r.Rat().Cmp(s.Rat())
@@ -324,3 +336,16 @@ func Mid(r, s R) R { return r.Add(s).Div(Two) }
 
 // Key returns a string usable as a map key; equal values yield equal keys.
 func (r R) Key() string { return r.String() }
+
+// SmallKey returns the canonical inline (num, den) pair and true when r
+// is in the small representation. Inline values are kept reduced with
+// den > 0 (the zero value normalizes to 0/1), so equal values yield
+// equal pairs and the pair can key a map without formatting a string.
+// Big-backed values return false and must be keyed by Key.
+func (r R) SmallKey() (num, den int64, ok bool) {
+	if r.big != nil {
+		return 0, 0, false
+	}
+	num, den = r.normSmall()
+	return num, den, true
+}

@@ -20,6 +20,14 @@ var latencyBuckets = []float64{
 // batchBuckets are the upper bounds of the batch-size histogram.
 var batchBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128}
 
+// shardBuckets are the upper bounds (seconds) of the per-shard build
+// latency histogram: shards are small by design, so the range leans toward
+// sub-millisecond builds while keeping room for straddle-merged giants.
+var shardBuckets = []float64{
+	0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001,
+	0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1,
+}
+
 // histogram is a fixed-bucket cumulative histogram. Guarded by the
 // owning Metrics mutex.
 type histogram struct {
@@ -73,6 +81,21 @@ func (h HistogramSnapshot) Quantile(p float64) float64 {
 	return h.Bounds[len(h.Bounds)-1]
 }
 
+// shardTracker folds one instance's sharded-artifact observability into
+// the registry across generations. Per-shard build latencies are observed
+// once per generation (aliased shards — BuildNanos 0 — were not built and
+// are skipped); the routing counters on the artifact are cumulative within
+// a generation and reset when a new generation's artifact replaces it, so
+// superseded generations' final readings fold into a base the current
+// reading adds onto.
+type shardTracker struct {
+	gen                uint64
+	seen               bool
+	shards             uint64 // gauge: current generation's shard count
+	oneBase, multiBase uint64 // routing totals folded from prior generations
+	oneCur, multiCur   uint64 // current generation's artifact counters
+}
+
 // routeMetrics aggregates one route's counters.
 type routeMetrics struct {
 	requests     uint64
@@ -93,11 +116,18 @@ type Metrics struct {
 	batchFlushes uint64
 	batchQueries uint64
 	batchSizes   *histogram
+	shardsByDB   map[string]*shardTracker
+	shardBuild   *histogram
 }
 
 // NewMetrics returns an empty registry.
 func NewMetrics() *Metrics {
-	return &Metrics{routes: make(map[string]*routeMetrics), batchSizes: newHistogram(batchBuckets)}
+	return &Metrics{
+		routes:     make(map[string]*routeMetrics),
+		batchSizes: newHistogram(batchBuckets),
+		shardsByDB: make(map[string]*shardTracker),
+		shardBuild: newHistogram(shardBuckets),
+	}
 }
 
 func (m *Metrics) route(name string) *routeMetrics {
@@ -137,6 +167,33 @@ func (m *Metrics) Shed() {
 	m.shed++
 }
 
+// ShardStats folds one instance's current sharded-artifact reading into
+// the registry (typically polled at scrape time): the shard-count gauge,
+// per-shard build latencies — observed once per generation, skipping
+// shards aliased from the parent generation — and the cumulative
+// one-shard/multi-shard routing counters.
+func (m *Metrics) ShardStats(db string, gen uint64, shards int, buildNanos []int64, one, multi uint64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	t, ok := m.shardsByDB[db]
+	if !ok {
+		t = &shardTracker{}
+		m.shardsByDB[db] = t
+	}
+	if !t.seen || t.gen != gen {
+		t.oneBase += t.oneCur
+		t.multiBase += t.multiCur
+		for _, ns := range buildNanos {
+			if ns > 0 {
+				m.shardBuild.observe(float64(ns) / 1e9)
+			}
+		}
+		t.gen, t.seen = gen, true
+	}
+	t.shards = uint64(shards)
+	t.oneCur, t.multiCur = one, multi
+}
+
 // BatchFlush records one batch-window flush of n folded queries.
 func (m *Metrics) BatchFlush(n int) {
 	m.mu.Lock()
@@ -162,6 +219,10 @@ type Snapshot struct {
 	BatchFlushes uint64
 	BatchQueries uint64
 	BatchSizes   HistogramSnapshot
+	ShardsByDB   map[string]uint64 // shard-count gauge per instance
+	ShardBuild   HistogramSnapshot // per-shard build latency
+	RoutingOne   uint64            // located queries answered from one shard
+	RoutingMulti uint64            // located queries that consulted several
 }
 
 // CoalesceHits sums coalesce hits across routes.
@@ -205,6 +266,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		BatchFlushes: m.batchFlushes,
 		BatchQueries: m.batchQueries,
 		BatchSizes:   snapHistogram(m.batchSizes),
+		ShardsByDB:   make(map[string]uint64, len(m.shardsByDB)),
+		ShardBuild:   snapHistogram(m.shardBuild),
+	}
+	for db, t := range m.shardsByDB {
+		s.ShardsByDB[db] = t.shards
+		s.RoutingOne += t.oneBase + t.oneCur
+		s.RoutingMulti += t.multiBase + t.multiCur
 	}
 	for name, rm := range m.routes {
 		errs := make(map[string]uint64, len(rm.errors))
@@ -283,6 +351,28 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 	}
 	if err := writeHistogram(p, "topodbd_batch_size", "", s.BatchSizes); err != nil {
 		return total, err
+	}
+	if len(s.ShardsByDB) > 0 {
+		if err := p("# TYPE topodbd_shards gauge\n"); err != nil {
+			return total, err
+		}
+		dbNames := make([]string, 0, len(s.ShardsByDB))
+		for db := range s.ShardsByDB {
+			dbNames = append(dbNames, db)
+		}
+		sort.Strings(dbNames)
+		for _, db := range dbNames {
+			if err := p("topodbd_shards{db=%q} %d\n", db, s.ShardsByDB[db]); err != nil {
+				return total, err
+			}
+		}
+		if err := writeHistogram(p, "topodbd_shard_build_seconds", "", s.ShardBuild); err != nil {
+			return total, err
+		}
+		if err := p("# TYPE topodbd_shard_routing_total counter\ntopodbd_shard_routing_total{fanout=\"one\"} %d\ntopodbd_shard_routing_total{fanout=\"multi\"} %d\n",
+			s.RoutingOne, s.RoutingMulti); err != nil {
+			return total, err
+		}
 	}
 	return total, nil
 }

@@ -1,0 +1,82 @@
+package serve
+
+import (
+	"bytes"
+	"net/http"
+	"strings"
+	"testing"
+
+	"topodb"
+)
+
+// TestMetricsShardLines drives a relate call against a force-sharded
+// instance and checks the /metrics scrape reports the shard gauge, the
+// per-shard build histogram, and the routing counters.
+func TestMetricsShardLines(t *testing.T) {
+	old := topodb.SetShardThreshold(0)
+	t.Cleanup(func() { topodb.SetShardThreshold(old) })
+
+	_, ts := newTestServer(t, Options{})
+	var out RelateResponse
+	post(t, ts, "/v1/relate", RelateRequest{Instance: "main", A: "A", B: "B"}, &out)
+	if out.Relation != "overlap" {
+		t.Fatalf("relate(A, B) = %q, want overlap", out.Relation)
+	}
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	body := buf.String()
+	for _, want := range []string{
+		"# TYPE topodbd_shards gauge",
+		`topodbd_shards{db="main"} 1`,
+		"# TYPE topodbd_shard_build_seconds histogram",
+		"topodbd_shard_build_seconds_count 1",
+		`topodbd_shard_routing_total{fanout="one"} 1`,
+		`topodbd_shard_routing_total{fanout="multi"} 0`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q\nbody:\n%s", want, body)
+		}
+	}
+}
+
+// TestMetricsShardStatsFold pins the generation-fold semantics of
+// Metrics.ShardStats: within a generation the artifact's counters are
+// re-read absolutely (no double counting across scrapes), and a new
+// generation folds the old readings into the cumulative base and
+// observes only the fresh build latencies — aliased shards (0 ns)
+// are never observed.
+func TestMetricsShardStatsFold(t *testing.T) {
+	m := NewMetrics()
+
+	m.ShardStats("db", 1, 3, []int64{1e6, 2e6, 0}, 5, 1)
+	m.ShardStats("db", 1, 3, []int64{1e6, 2e6, 0}, 7, 2) // same gen, re-scrape
+	s := m.Snapshot()
+	if s.ShardsByDB["db"] != 3 || s.RoutingOne != 7 || s.RoutingMulti != 2 {
+		t.Fatalf("same-gen scrape: %+v", s)
+	}
+	if s.ShardBuild.Count != 2 {
+		t.Fatalf("same-gen build observations = %d, want 2 (one per nonzero latency)", s.ShardBuild.Count)
+	}
+
+	// New generation: counters restart on the new artifact; the fold keeps
+	// the old generation's totals.
+	m.ShardStats("db", 2, 4, []int64{3e6, 0, 0, 0}, 1, 0)
+	s = m.Snapshot()
+	if s.ShardsByDB["db"] != 4 {
+		t.Fatalf("new-gen shard gauge = %d, want 4", s.ShardsByDB["db"])
+	}
+	if s.RoutingOne != 8 || s.RoutingMulti != 2 {
+		t.Fatalf("new-gen routing totals = %d/%d, want 8/2", s.RoutingOne, s.RoutingMulti)
+	}
+	if s.ShardBuild.Count != 3 {
+		t.Fatalf("new-gen build observations = %d, want 3", s.ShardBuild.Count)
+	}
+}

@@ -118,9 +118,25 @@ func New(opts Options) *Server {
 	})
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.pollShardStats()
 		s.metrics.WriteTo(w)
 	})
 	return s
+}
+
+// pollShardStats folds every registered instance's current sharded-
+// artifact reading into the metrics registry. Called at scrape time: the
+// stats are free to read (ShardStats never triggers a build), so the
+// serving hot path carries no extra bookkeeping.
+func (s *Server) pollShardStats() {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for name, db := range s.instances {
+		snap := db.Snapshot()
+		if stats, ok := snap.ShardStats(); ok {
+			s.metrics.ShardStats(name, db.Gen(), stats.Shards, stats.BuildNanos, stats.OneShard, stats.MultiShard)
+		}
+	}
 }
 
 // Register adds (or replaces) a named instance.

@@ -167,3 +167,52 @@ func CirclePair(samples int) *spatial.Instance {
 		MustAdd("A", region.MustCircle(0, 0, 8, samples)).
 		MustAdd("B", region.MustCircle(6, 0, 8, samples))
 }
+
+// MetroGrid returns an n-region metropolitan mosaic purpose-built for the
+// sharded pipeline: regions cluster into compact districts (each a
+// district×district mesh of overlapping 4×4 blocks) separated by empty
+// belts, so the box-overlap graph decomposes into many small components.
+// straddlePct percent of the districts additionally grow an "arterial"
+// region reaching across the belt into the next district, merging the two
+// components — the controllable shard-straddle ratio. Deterministic in
+// its parameters; exactly n regions are produced.
+func MetroGrid(n, district, straddlePct int) *spatial.Instance {
+	if district < 1 {
+		district = 1
+	}
+	if straddlePct < 0 {
+		straddlePct = 0
+	}
+	if straddlePct > 100 {
+		straddlePct = 100
+	}
+	perDistrict := district * district
+	// District footprint: blocks at pitch 4 with size 4 tile edge-to-edge;
+	// a 3-unit belt keeps neighboring districts' boxes disjoint.
+	pitch := int64(4*district + 3)
+	nd := (n + perDistrict - 1) / perDistrict
+	cols := 1
+	for cols*cols < nd {
+		cols++
+	}
+	in := spatial.New()
+	placed := 0
+	for d := 0; d < nd && placed < n; d++ {
+		dr, dc := d/cols, d%cols
+		ox, oy := int64(dc)*pitch, int64(dr)*pitch
+		straddle := dc+1 < cols && (d+1)*perDistrict <= n && (d*straddlePct)%100 < straddlePct
+		for b := 0; b < perDistrict && placed < n; b++ {
+			br, bc := b/district, b%district
+			x, y := ox+int64(4*bc), oy+int64(4*br)
+			w := int64(4)
+			if straddle && b == perDistrict-1 && br == district-1 && bc == district-1 {
+				// The district's last block becomes the arterial: it spans
+				// the belt and pierces the right neighbor's first column.
+				w = 4 + 3 + 2
+			}
+			in.MustAdd(fmt.Sprintf("Mg%06d", placed), region.MustRect(x, y, x+w, y+4))
+			placed++
+		}
+	}
+	return in
+}

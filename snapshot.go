@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 
+	"topodb/internal/arrange"
 	"topodb/internal/fary"
 	"topodb/internal/folang"
 	"topodb/internal/fourint"
@@ -59,6 +60,23 @@ func (s *Snapshot) Relate(a, b string) (Relation, error) {
 	}
 	if _, ok := s.c.in.Ext(b); !ok {
 		return 0, noRegion(b)
+	}
+	if arrange.ShardingEnabled(s.c.in.Len()) {
+		// Sharded fast path: scan only the one shard holding both regions;
+		// regions in different shards have disjoint closed bounding boxes
+		// and are Disjoint without touching any cell complex.
+		sh, err := s.sharded(context.Background())
+		if err != nil {
+			return 0, err
+		}
+		ri, rj := sh.Plan.RegionIndex(a), sh.Plan.RegionIndex(b)
+		c := sh.MatrixShard(ri, rj)
+		if c < 0 {
+			sh.RecordRoute(0)
+			return Disjoint, nil
+		}
+		sh.RecordRoute(1)
+		return fourint.Classify(fourint.MatrixOf(sh.Subs[c], sh.Plan.LocalIndex(ri), sh.Plan.LocalIndex(rj)))
 	}
 	arr, err := s.arrangement(context.Background())
 	if err != nil {
