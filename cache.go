@@ -69,14 +69,18 @@ type cacheEntry struct {
 // relations). The chain is cut at depth one — linking a new generation
 // drops the parent's own parent — so at most two generations are ever
 // retained by the cache itself.
+//
+// topolint:frozen — gen and the spatial clone are published immutable;
+// the slot map and parent link have their own mutation protocol under mu
+// and are marked mutable field-by-field.
 type genCache struct {
 	gen uint64
 	in  *spatial.Instance // frozen; never mutated after construction
 
-	mu      sync.Mutex
-	entries map[artifactKey]*cacheEntry
-	parent  *genCache // previous generation, when the delta was pure
-	added   []string  // names this generation added over parent
+	mu      sync.Mutex                  // topolint:mutable — the guard itself
+	entries map[artifactKey]*cacheEntry // topolint:mutable — single-flight slots, guarded by mu
+	parent  *genCache                   // topolint:mutable — cut under mu by dropParent
+	added   []string                    // topolint:mutable — cleared with parent under mu
 }
 
 // parentLink returns the incremental-derivation link, nil when this

@@ -1,0 +1,117 @@
+// Command topolint runs the repository's custom analyzer suite — the
+// static, CI-time enforcement of the invariants the test suite can only
+// check probabilistically:
+//
+//	ratexact        exact rational arithmetic only on decision paths
+//	mapdeterminism  no map iteration order escaping into canonical output
+//	lockdiscipline  no mutex re-acquisition; published artifacts immutable
+//	ctxflow         no dropped contexts where a ...Ctx sibling exists
+//	errcompare      errors.Is, never ==, against sentinel errors
+//
+// Usage:
+//
+//	go run ./cmd/topolint ./...
+//	go run ./cmd/topolint ./internal/arrange ./internal/rat
+//
+// With no arguments (or "./...") every package of the enclosing module is
+// analyzed. Any diagnostic is a build failure: exit status 1. Suppress a
+// false positive with a //lint:ignore <analyzer> <reason> comment — see
+// the package documentation of internal/lint.
+package main
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"topodb/internal/lint"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	cwd, err := os.Getwd()
+	if err != nil {
+		return err
+	}
+	modPath, modDir, err := lint.ModuleRoot(cwd)
+	if err != nil {
+		return err
+	}
+	loader := lint.NewLoader(modPath, modDir)
+
+	var paths []string
+	all := len(args) == 0
+	for _, a := range args {
+		if a == "./..." || a == "..." {
+			all = true
+			continue
+		}
+		p, err := importPathOf(modPath, modDir, cwd, a)
+		if err != nil {
+			return err
+		}
+		paths = append(paths, p)
+	}
+	if all {
+		paths, err = loader.ModulePackages()
+		if err != nil {
+			return err
+		}
+	}
+
+	var pkgs []*lint.Package
+	for _, p := range paths {
+		pkg, err := loader.Load(p)
+		if err != nil {
+			return err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	diags, err := lint.Run(lint.All(), pkgs)
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		pos := loaderPosition(pkgs, d)
+		fmt.Printf("%s: %s: %s\n", pos, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return fmt.Errorf("topolint: %d diagnostic(s)", len(diags))
+	}
+	return nil
+}
+
+// importPathOf maps a directory argument to its import path in the module.
+func importPathOf(modPath, modDir, cwd, arg string) (string, error) {
+	if !strings.HasPrefix(arg, ".") && !filepath.IsAbs(arg) {
+		return arg, nil // already an import path
+	}
+	abs := arg
+	if !filepath.IsAbs(abs) {
+		abs = filepath.Join(cwd, arg)
+	}
+	rel, err := filepath.Rel(modDir, abs)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return "", fmt.Errorf("topolint: %s is outside module %s", arg, modPath)
+	}
+	if rel == "." {
+		return modPath, nil
+	}
+	return modPath + "/" + filepath.ToSlash(rel), nil
+}
+
+func loaderPosition(pkgs []*lint.Package, d lint.Diagnostic) string {
+	for _, p := range pkgs {
+		if p.Fset != nil {
+			return p.Fset.Position(d.Pos).String()
+		}
+	}
+	return "-"
+}

@@ -40,6 +40,9 @@ func (o Owners) IsEmpty() bool { return o == NoOwners }
 // words at the default 4096 budget, negligible next to the cell complex.
 // Budgets far past that (10⁵+) would want a sparse representation for
 // high-index sets; see the region-budget notes in the README.
+//
+// topolint:frozen — once an arrangement is published its pool is
+// read-only; the only sanctioned writer is the construction-phase intern.
 type OwnerPool struct {
 	sets  [][]uint64        // handle -> canonical words (trailing zero words trimmed)
 	index map[string]Owners // canonical byte key -> handle
@@ -85,6 +88,10 @@ func ownerKey(words []uint64) string {
 // intern canonicalizes words (trims trailing zero words) and returns the
 // set's handle, creating it if new. The caller must not retain words —
 // the pool may alias it.
+//
+// topolint:mutator — construction-phase writer: every call path runs
+// either single-goroutine during Build, or against a Clone during Insert
+// (parent pools are never extended; see the type comment).
 func (p *OwnerPool) intern(words []uint64) Owners {
 	for len(words) > 0 && words[len(words)-1] == 0 {
 		words = words[:len(words)-1]

@@ -1,0 +1,95 @@
+package lint_test
+
+import (
+	"go/ast"
+	"path/filepath"
+	"testing"
+
+	"topodb/internal/lint"
+	"topodb/internal/lint/linttest"
+)
+
+// Each analyzer is exercised against fixtures holding at least one true
+// positive (asserted by a // want comment) and near-miss negatives
+// (asserted by the absence of one — linttest fails on any unexpected
+// diagnostic).
+
+func TestRatExact(t *testing.T) {
+	linttest.Run(t, linttest.Dir(t), lint.RatExact, "geom", "app", "rat")
+}
+
+func TestMapDeterminism(t *testing.T) {
+	linttest.Run(t, linttest.Dir(t), lint.MapDeterminism, "mapdet")
+}
+
+func TestLockDiscipline(t *testing.T) {
+	linttest.Run(t, linttest.Dir(t), lint.LockDiscipline, "lockd")
+}
+
+func TestCtxFlow(t *testing.T) {
+	linttest.Run(t, linttest.Dir(t), lint.CtxFlow, "ctxf")
+}
+
+func TestErrCompare(t *testing.T) {
+	linttest.Run(t, linttest.Dir(t), lint.ErrCompare, "errcmp")
+}
+
+// TestIgnoreDirective pins the suppression contract: the geom fixture's
+// Display function carries a doc-comment //lint:ignore and must produce
+// no diagnostic (linttest would report an unexpected diagnostic if the
+// directive were broken), and a malformed directive without a reason is
+// itself reported.
+func TestIgnoreDirective(t *testing.T) {
+	loader := lint.NewLoader("fixture.invalid", linttest.Dir(t))
+	loader.ExtraDirs["rat"] = filepath.Join(linttest.Dir(t), "src", "rat")
+	loader.ExtraDirs["geom"] = filepath.Join(linttest.Dir(t), "src", "geom")
+	pkg, err := loader.Load("geom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Run([]*lint.Analyzer{lint.RatExact}, []*lint.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate the Display declaration; its doc-comment directive must
+	// suppress every diagnostic in its extent.
+	var lo, hi int
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "Display" {
+				lo = pkg.Fset.Position(fd.Pos()).Line
+				hi = pkg.Fset.Position(fd.End()).Line
+			}
+		}
+	}
+	if lo == 0 {
+		t.Fatal("fixture func Display not found")
+	}
+	if len(diags) == 0 {
+		t.Fatal("expected the geom fixture's unsuppressed diagnostics to survive")
+	}
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if pos.Line >= lo && pos.Line <= hi {
+			t.Errorf("suppressed diagnostic leaked: %s: %s", pos, d.Message)
+		}
+	}
+}
+
+// TestSuiteIsComplete pins the analyzer roster: CI wiring and the README
+// document five analyzers by name.
+func TestSuiteIsComplete(t *testing.T) {
+	want := []string{"ratexact", "mapdeterminism", "lockdiscipline", "ctxflow", "errcompare"}
+	got := lint.All()
+	if len(got) != len(want) {
+		t.Fatalf("All() returned %d analyzers, want %d", len(got), len(want))
+	}
+	for i, a := range got {
+		if a.Name != want[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, a.Name, want[i])
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("%s: missing Doc or Run", a.Name)
+		}
+	}
+}

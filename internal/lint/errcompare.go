@@ -1,0 +1,142 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ErrCompare enforces errors.Is over == for sentinel errors. The typed
+// error values this module exposes (ErrParse, ErrNoRegion,
+// ErrTooManyRegions, ErrCanceled, ...) are matched through wrapper chains
+// — fmt.Errorf("...: %w", err) and custom Is methods — so a direct ==
+// against the sentinel silently misses every wrapped occurrence.
+//
+// Flagged: ==/!= (and switch cases) where one operand is a package-level
+// error variable. The one sanctioned exception is the errors.Is protocol
+// itself: the body of a method named Is with signature func(error) bool
+// must compare against the sentinel directly, and is skipped.
+var ErrCompare = &Analyzer{
+	Name: "errcompare",
+	Doc: "flags == / != / switch-case comparisons against sentinel error " +
+		"variables where errors.Is is required",
+	Run: runErrCompare,
+}
+
+func runErrCompare(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if isErrorsIsMethod(info, fn) {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.BinaryExpr:
+					if n.Op != token.EQL && n.Op != token.NEQ {
+						return true
+					}
+					for _, side := range []ast.Expr{n.X, n.Y} {
+						if name := sentinelErrorVar(info, side); name != "" {
+							pass.Reportf(n.OpPos,
+								"%s compared with %s; wrapped errors never match — use errors.Is(err, %s)",
+								name, n.Op, name)
+							break
+						}
+					}
+				case *ast.SwitchStmt:
+					if n.Tag == nil {
+						return true
+					}
+					tv, ok := info.Types[n.Tag]
+					if !ok || !isErrorInterface(tv.Type) {
+						return true
+					}
+					for _, clause := range n.Body.List {
+						cc, ok := clause.(*ast.CaseClause)
+						if !ok {
+							continue
+						}
+						for _, e := range cc.List {
+							if name := sentinelErrorVar(info, e); name != "" {
+								pass.Reportf(e.Pos(),
+									"switch case compares %s by identity; wrapped errors never match — use errors.Is",
+									name)
+							}
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// sentinelErrorVar reports the name of a package-level error variable
+// referenced by e, or "".
+func sentinelErrorVar(info *types.Info, e ast.Expr) string {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return ""
+	}
+	v, ok := info.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return ""
+	}
+	if v.Parent() != v.Pkg().Scope() {
+		return "" // not package-level
+	}
+	if !isErrorInterface(v.Type()) && !implementsError(v.Type()) {
+		return ""
+	}
+	return v.Name()
+}
+
+// isErrorInterface reports whether t is the built-in error interface.
+func isErrorInterface(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	return n.Obj().Name() == "error" && n.Obj().Pkg() == nil
+}
+
+// implementsError reports whether t has an Error() string method.
+func implementsError(t types.Type) bool {
+	obj, _, _ := types.LookupFieldOrMethod(t, true, nil, "Error")
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := fn.Type().(*types.Signature)
+	return sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+		sig.Results().At(0).Type().String() == "string"
+}
+
+// isErrorsIsMethod recognizes the errors.Is protocol implementation:
+// func (x T) Is(target error) bool.
+func isErrorsIsMethod(info *types.Info, fn *ast.FuncDecl) bool {
+	if fn.Recv == nil || fn.Name.Name != "Is" {
+		return false
+	}
+	obj, ok := info.Defs[fn.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	if sig.Params().Len() != 1 || sig.Results().Len() != 1 {
+		return false
+	}
+	return isErrorInterface(sig.Params().At(0).Type()) &&
+		sig.Results().At(0).Type() == types.Typ[types.Bool]
+}

@@ -1,0 +1,335 @@
+// Package lint is a small static-analysis framework plus the topolint
+// analyzer suite: five checkers that mechanically enforce the repository's
+// three unwritten disciplines — exact rational arithmetic only (ratexact),
+// deterministic iteration feeding every canonical encoding
+// (mapdeterminism), and immutability of published artifacts
+// (lockdiscipline) — together with the ctx-threading (ctxflow) and
+// errors.Is (errcompare) hygiene rules the serving tier depends on.
+//
+// The framework mirrors the golang.org/x/tools/go/analysis API shape
+// (Analyzer, Pass, Diagnostic, analysistest-style fixtures under
+// testdata/src) but is built entirely on the standard library's go/ast,
+// go/parser and go/types, because this module deliberately carries no
+// third-party dependencies. Swapping an analyzer onto x/tools later is a
+// mechanical change: the Run functions only consume Fset/Files/TypesInfo.
+//
+// Suppressing a finding: a comment of the form
+//
+//	//lint:ignore <analyzer>[,<analyzer>...] reason
+//
+// suppresses matching diagnostics on the next source line (or on its own
+// line when written as a trailing comment). Written as part of a top-level
+// declaration's doc comment it suppresses matching diagnostics in the whole
+// declaration. The analyzer list may be "topolint" to suppress the entire
+// suite. A reason is mandatory; an ignore without one is reported itself.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// An Analyzer is one named check over a type-checked package.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:ignore
+	// directives. It must be a single lower-case word.
+	Name string
+	// Doc is a one-paragraph description: the invariant the analyzer
+	// guards and what a diagnostic means.
+	Doc string
+	// Run inspects one package and reports findings through pass.Report.
+	Run func(pass *Pass) error
+}
+
+// A Pass provides one analyzer run with one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	PkgPath   string
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf reports a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// A Diagnostic is one finding: an analyzer name, a position, a message.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Pos
+	Message  string
+}
+
+// Run applies every analyzer to every package, honors //lint:ignore
+// directives, and returns the surviving diagnostics ordered by file
+// position. Analyzer errors (not diagnostics — failures to run at all)
+// are returned as an error.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var all []Diagnostic
+	for _, pkg := range pkgs {
+		ign := collectIgnores(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				PkgPath:   pkg.Path,
+				TypesInfo: pkg.Info,
+			}
+			pass.report = func(d Diagnostic) {
+				if !ign.suppressed(pkg.Fset, d) {
+					all = append(all, d)
+				}
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.Path, a.Name, err)
+			}
+		}
+		all = append(all, ign.malformed...)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Pos != all[j].Pos {
+			return all[i].Pos < all[j].Pos
+		}
+		return all[i].Analyzer < all[j].Analyzer
+	})
+	return all, nil
+}
+
+// ignoreSet indexes the //lint:ignore directives of one package.
+type ignoreSet struct {
+	// byLine maps file -> line -> analyzer names suppressed on that line.
+	byLine map[string]map[int][]string
+	// ranges are decl-scoped suppressions from doc comments.
+	ranges []ignoreRange
+	// malformed collects diagnostics about directives missing a reason.
+	malformed []Diagnostic
+}
+
+type ignoreRange struct {
+	file     string
+	from, to int // line span, inclusive
+	names    []string
+}
+
+// collectIgnores gathers every //lint:ignore directive in the package.
+func collectIgnores(pkg *Package) *ignoreSet {
+	ign := &ignoreSet{byLine: make(map[string]map[int][]string)}
+	for _, f := range pkg.Files {
+		// Doc-comment directives scope to the whole declaration.
+		docScoped := make(map[*ast.Comment]bool)
+		for _, decl := range f.Decls {
+			var doc *ast.CommentGroup
+			switch d := decl.(type) {
+			case *ast.FuncDecl:
+				doc = d.Doc
+			case *ast.GenDecl:
+				doc = d.Doc
+			}
+			if doc == nil {
+				continue
+			}
+			for _, c := range doc.List {
+				names, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				docScoped[c] = true
+				if names == nil {
+					ign.reportMalformed(pkg.Fset, c)
+					continue
+				}
+				start := pkg.Fset.Position(decl.Pos())
+				end := pkg.Fset.Position(decl.End())
+				ign.ranges = append(ign.ranges, ignoreRange{
+					file: start.Filename, from: start.Line, to: end.Line, names: names,
+				})
+			}
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if docScoped[c] {
+					continue
+				}
+				names, ok := parseIgnore(c.Text)
+				if !ok {
+					continue
+				}
+				if names == nil {
+					ign.reportMalformed(pkg.Fset, c)
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				// A trailing comment suppresses its own line; a comment on a
+				// line of its own suppresses the next line. Covering both is
+				// harmless and keeps the rule simple to remember.
+				m := ign.byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int][]string)
+					ign.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = append(m[pos.Line], names...)
+				m[pos.Line+1] = append(m[pos.Line+1], names...)
+			}
+		}
+	}
+	return ign
+}
+
+func (ign *ignoreSet) reportMalformed(fset *token.FileSet, c *ast.Comment) {
+	ign.malformed = append(ign.malformed, Diagnostic{
+		Analyzer: "topolint",
+		Pos:      c.Pos(),
+		Message:  "lint:ignore directive needs a reason: //lint:ignore <analyzer> <why>",
+	})
+}
+
+// parseIgnore recognizes //lint:ignore comments. ok reports whether the
+// comment is a directive at all; names is nil for a malformed directive
+// (missing reason).
+func parseIgnore(text string) (names []string, ok bool) {
+	rest, found := strings.CutPrefix(text, "//lint:ignore")
+	if !found || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+		return nil, false
+	}
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		return nil, true // directive present, reason missing
+	}
+	return strings.Split(fields[0], ","), true
+}
+
+// suppressed reports whether d is covered by an ignore directive.
+func (ign *ignoreSet) suppressed(fset *token.FileSet, d Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	match := func(names []string) bool {
+		for _, n := range names {
+			if n == d.Analyzer || n == "topolint" {
+				return true
+			}
+		}
+		return false
+	}
+	if m := ign.byLine[pos.Filename]; m != nil && match(m[pos.Line]) {
+		return true
+	}
+	for _, r := range ign.ranges {
+		if r.file == pos.Filename && pos.Line >= r.from && pos.Line <= r.to && match(r.names) {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the topolint analyzer suite in its canonical order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		RatExact,
+		MapDeterminism,
+		LockDiscipline,
+		CtxFlow,
+		ErrCompare,
+	}
+}
+
+// ---- shared type helpers used by several analyzers ----
+
+// isRatR reports whether t (after unwrapping aliases) is the exact
+// rational type: a named type R declared in a package named rat. Matching
+// by package name rather than full path keeps the analyzers testable
+// against fixture packages and robust to module renames.
+func isRatR(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "R" && obj.Pkg() != nil && obj.Pkg().Name() == "rat"
+}
+
+// containsRatR reports whether t is rat.R or a struct/array that embeds
+// one (so ==, map keys and switch on it would compare rationals
+// representationally). Pointers, slices and maps are not traversed:
+// comparing pointers compares identity, which is exact.
+func containsRatR(t types.Type) bool {
+	seen := make(map[types.Type]bool)
+	var walk func(types.Type) bool
+	walk = func(t types.Type) bool {
+		if seen[t] {
+			return false
+		}
+		seen[t] = true
+		if isRatR(t) {
+			return true
+		}
+		switch u := t.Underlying().(type) {
+		case *types.Struct:
+			for i := 0; i < u.NumFields(); i++ {
+				if walk(u.Field(i).Type()) {
+					return true
+				}
+			}
+		case *types.Array:
+			return walk(u.Elem())
+		}
+		return false
+	}
+	return walk(t)
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// funcHasCtxParam reports whether the function type ft has a
+// context.Context parameter.
+func funcHasCtxParam(info *types.Info, ft *ast.FuncType) bool {
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		if tv, ok := info.Types[field.Type]; ok && isContextType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders a (small) expression for diagnostics.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return exprString(fset, e.X) + "." + e.Sel.Name
+	case *ast.IndexExpr:
+		return exprString(fset, e.X) + "[...]"
+	case *ast.StarExpr:
+		return "*" + exprString(fset, e.X)
+	case *ast.CallExpr:
+		return exprString(fset, e.Fun) + "(...)"
+	case *ast.ParenExpr:
+		return "(" + exprString(fset, e.X) + ")"
+	}
+	return "expression"
+}

@@ -1,0 +1,133 @@
+// Package linttest runs lint analyzers over fixture packages and checks
+// their diagnostics against expectations written in the fixtures, in the
+// style of golang.org/x/tools/go/analysis/analysistest: a comment
+//
+//	// want "regexp"
+//
+// on a source line asserts that the analyzer reports a diagnostic on that
+// line whose message matches the regexp (several want strings assert
+// several diagnostics). Every diagnostic must be wanted and every want
+// must be matched, so fixtures double as precision tests: true positives
+// are asserted present, near-miss negatives asserted absent.
+package linttest
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"topodb/internal/lint"
+)
+
+// Run loads each fixture package from dir/src/<path> and applies the
+// analyzer, comparing diagnostics with the // want expectations.
+func Run(t *testing.T, dir string, a *lint.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	loader := lint.NewLoader("fixture.invalid", dir)
+	src := filepath.Join(dir, "src")
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatalf("linttest: %v", err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			loader.ExtraDirs[e.Name()] = filepath.Join(src, e.Name())
+		}
+	}
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Errorf("linttest: loading %s: %v", path, err)
+			continue
+		}
+		diags, err := lint.Run([]*lint.Analyzer{a}, []*lint.Package{pkg})
+		if err != nil {
+			t.Errorf("linttest: running %s on %s: %v", a.Name, path, err)
+			continue
+		}
+		checkExpectations(t, pkg, diags)
+	}
+}
+
+type expectation struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	raw     string
+	matched bool
+}
+
+// wantRe matches one expectation string: double-quoted or backquoted.
+var wantRe = regexp.MustCompile("\"((?:[^\"\\\\]|\\\\.)*)\"|`([^`]*)`")
+
+func checkExpectations(t *testing.T, pkg *lint.Package, diags []lint.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				idx := strings.Index(c.Text, "// want ")
+				if idx < 0 {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, m := range wantRe.FindAllStringSubmatch(c.Text[idx+len("// want "):], -1) {
+					raw := m[1]
+					if m[2] != "" {
+						raw = m[2]
+					}
+					raw = strings.ReplaceAll(raw, `\"`, `"`)
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", pos, raw, err)
+						continue
+					}
+					wants = append(wants, &expectation{
+						file: pos.Filename, line: pos.Line, re: re, raw: raw,
+					})
+				}
+			}
+		}
+	}
+	sort.Slice(wants, func(i, j int) bool {
+		if wants[i].file != wants[j].file {
+			return wants[i].file < wants[j].file
+		}
+		return wants[i].line < wants[j].line
+	})
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if !matchWant(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: [%s] %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.raw)
+		}
+	}
+}
+
+func matchWant(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.re.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+// Dir returns the conventional fixture root next to the calling test.
+func Dir(t *testing.T) string {
+	t.Helper()
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return filepath.Join(wd, "testdata")
+}

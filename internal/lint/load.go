@@ -1,0 +1,248 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	Path  string // import path
+	Dir   string // directory the sources were read from
+	Fset  *token.FileSet
+	Files []*ast.File // non-test sources, ordered by file name
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages of one module (plus fixture
+// trees) without invoking the go command: module-internal import paths
+// resolve to directories under ModuleDir, fixture paths through ExtraDirs,
+// and everything else — the standard library — through the compiler's
+// source importer, which reads GOROOT directly. The zero network
+// dependency is deliberate: topolint must run anywhere the toolchain does.
+type Loader struct {
+	ModulePath string            // e.g. "topodb"
+	ModuleDir  string            // absolute directory of go.mod
+	ExtraDirs  map[string]string // import path -> directory (fixture trees)
+
+	fset *token.FileSet
+	std  types.ImporterFrom
+	pkgs map[string]*loadEntry
+}
+
+type loadEntry struct {
+	pkg *Package
+	err error
+}
+
+// NewLoader returns a loader rooted at the module with path modulePath in
+// moduleDir.
+func NewLoader(modulePath, moduleDir string) *Loader {
+	fset := token.NewFileSet()
+	return &Loader{
+		ModulePath: modulePath,
+		ModuleDir:  moduleDir,
+		ExtraDirs:  make(map[string]string),
+		fset:       fset,
+		std:        importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
+		pkgs:       make(map[string]*loadEntry),
+	}
+}
+
+// ModuleRoot locates the enclosing go.mod from dir and returns the module
+// path and root directory.
+func ModuleRoot(dir string) (modulePath, moduleDir string, err error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for d := abs; ; d = filepath.Dir(d) {
+		data, err := os.ReadFile(filepath.Join(d, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return strings.TrimSpace(rest), d, nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: no module line in %s/go.mod", d)
+		}
+		if parent := filepath.Dir(d); parent == d {
+			return "", "", fmt.Errorf("lint: no go.mod found above %s", abs)
+		}
+	}
+}
+
+// Load parses and type-checks the package at the given import path,
+// memoized for the loader's lifetime.
+func (l *Loader) Load(path string) (*Package, error) {
+	if e, ok := l.pkgs[path]; ok {
+		if e == nil {
+			return nil, fmt.Errorf("lint: import cycle through %q", path)
+		}
+		return e.pkg, e.err
+	}
+	l.pkgs[path] = nil // cycle marker
+	pkg, err := l.load(path)
+	l.pkgs[path] = &loadEntry{pkg: pkg, err: err}
+	return pkg, err
+}
+
+// dirFor resolves an import path to a source directory, or "" when the
+// path belongs to the standard library.
+func (l *Loader) dirFor(path string) string {
+	if d, ok := l.ExtraDirs[path]; ok {
+		return d
+	}
+	if path == l.ModulePath {
+		return l.ModuleDir
+	}
+	if rest, ok := strings.CutPrefix(path, l.ModulePath+"/"); ok {
+		return filepath.Join(l.ModuleDir, filepath.FromSlash(rest))
+	}
+	return ""
+}
+
+func (l *Loader) load(path string) (*Package, error) {
+	if path == "unsafe" {
+		return &Package{Path: path, Types: types.Unsafe, Fset: l.fset}, nil
+	}
+	dir := l.dirFor(path)
+	if dir == "" {
+		// Standard library: delegate to the source importer. No syntax is
+		// retained — analyzers only run over module and fixture packages.
+		tp, err := l.std.ImportFrom(path, l.ModuleDir, 0)
+		if err != nil {
+			return nil, fmt.Errorf("lint: stdlib import %q: %w", path, err)
+		}
+		return &Package{Path: path, Types: tp, Fset: l.fset}, nil
+	}
+	files, err := l.parseDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("lint: no Go sources in %s", dir)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer: importerFunc(func(p string) (*types.Package, error) {
+			dep, err := l.Load(p)
+			if err != nil {
+				return nil, err
+			}
+			return dep.Types, nil
+		}),
+		Error: func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	tp, err := conf.Check(path, l.fset, files, info)
+	if len(typeErrs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s: %v", path, typeErrs[0])
+	}
+	if err != nil {
+		return nil, fmt.Errorf("lint: type-checking %s: %w", path, err)
+	}
+	return &Package{
+		Path:  path,
+		Dir:   dir,
+		Fset:  l.fset,
+		Files: files,
+		Types: tp,
+		Info:  info,
+	}, nil
+}
+
+// parseDir parses every non-test .go file in dir with comments retained
+// (the directives and fixtures live in comments).
+func (l *Loader) parseDir(dir string) ([]*ast.File, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range ents {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") ||
+			strings.HasSuffix(n, "_test.go") || strings.HasPrefix(n, ".") {
+			continue
+		}
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var files []*ast.File
+	for _, n := range names {
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, n), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// ModulePackages returns the import paths of every package in the module,
+// in sorted order: directories under the module root that contain at least
+// one non-test .go file, skipping hidden directories and analyzer fixture
+// trees (testdata).
+func (l *Loader) ModulePackages() ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(l.ModuleDir, func(p string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if p != l.ModuleDir && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") || name == "testdata") {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(p)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			n := e.Name()
+			if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") {
+				rel, err := filepath.Rel(l.ModuleDir, p)
+				if err != nil {
+					return err
+				}
+				if rel == "." {
+					paths = append(paths, l.ModulePath)
+				} else {
+					paths = append(paths, l.ModulePath+"/"+filepath.ToSlash(rel))
+				}
+				break
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,408 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// LockDiscipline enforces the two locking/immutability disciplines the
+// snapshot machinery rests on.
+//
+// Re-acquisition: for any struct with a sync.Mutex/RWMutex field, calling
+// a method that acquires that mutex while the caller already holds it is
+// flagged (self-deadlock for Mutex; writer-starvation-dependent deadlock
+// for RWMutex — both are bugs).
+//
+// Frozen fields: a struct type whose doc comment contains the marker
+// "topolint:frozen" is published immutable. Any assignment through a
+// field of such a type is flagged unless
+//   - the field's declaration carries a "topolint:mutable" marker (its
+//     mutation protocol is internally synchronized, e.g. a single-flight
+//     slot map guarded by its own mutex), or
+//   - the enclosing function carries a "topolint:mutator" marker (a
+//     construction-phase writer, e.g. the owner pool's intern), or
+//   - the value being written was constructed locally in the same
+//     function from a composite literal or new() — building a fresh
+//     object is not mutating a published one.
+var LockDiscipline = &Analyzer{
+	Name: "lockdiscipline",
+	Doc: "flags mutex re-acquisition through method calls and writes to " +
+		"fields of types marked topolint:frozen after publication",
+	Run: runLockDiscipline,
+}
+
+func runLockDiscipline(pass *Pass) error {
+	checkReacquire(pass)
+	checkFrozen(pass)
+	return nil
+}
+
+// ---- mutex re-acquisition ----
+
+// mutexKey names one mutex: the receiver's named type and the field.
+type mutexKey struct {
+	typ   *types.TypeName
+	field string
+}
+
+func checkReacquire(pass *Pass) {
+	info := pass.TypesInfo
+	// Pass 1: which methods acquire which receiver mutex?
+	acquirers := make(map[mutexKey]map[string]bool) // key -> method names that Lock/RLock it
+	forEachMethod(pass, func(fn *ast.FuncDecl, recv *types.Var, tn *types.TypeName) {
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			// A closure's acquisitions happen whenever the closure runs,
+			// not when the enclosing method does; they are not this
+			// method's acquisitions.
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if field, kind := mutexOp(info, call, recv); field != "" && (kind == "Lock" || kind == "RLock") {
+				k := mutexKey{typ: tn, field: field}
+				if acquirers[k] == nil {
+					acquirers[k] = make(map[string]bool)
+				}
+				acquirers[k][fn.Name.Name] = true
+			}
+			return true
+		})
+	})
+	if len(acquirers) == 0 {
+		return
+	}
+	// Pass 2: simulate each method linearly; while a receiver mutex is
+	// held, calling a sibling method that acquires it is a deadlock.
+	forEachMethod(pass, func(fn *ast.FuncDecl, recv *types.Var, tn *types.TypeName) {
+		type event struct {
+			pos    token.Pos
+			field  string // mutex field for acquire/release
+			kind   string // "acquire", "release", "deferRelease", "call"
+			method string // for "call"
+		}
+		var events []event
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncLit:
+				// Calls inside a closure execute when the closure runs —
+				// timer callbacks, goroutines, stored hooks — not at the
+				// point the closure literal appears; simulating them here
+				// would flag deferred work as if it ran under the lock.
+				return false
+			case *ast.DeferStmt:
+				if field, kind := mutexOp(info, n.Call, recv); field != "" &&
+					(kind == "Unlock" || kind == "RUnlock") {
+					events = append(events, event{pos: n.Pos(), field: field, kind: "deferRelease"})
+					return false
+				}
+			case *ast.CallExpr:
+				if field, kind := mutexOp(info, n, recv); field != "" {
+					switch kind {
+					case "Lock", "RLock":
+						events = append(events, event{pos: n.Pos(), field: field, kind: "acquire"})
+					case "Unlock", "RUnlock":
+						events = append(events, event{pos: n.Pos(), field: field, kind: "release"})
+					}
+					return true
+				}
+				if m := receiverMethodCall(info, n, recv); m != "" {
+					events = append(events, event{pos: n.Pos(), kind: "call", method: m})
+				}
+			}
+			return true
+		})
+		sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+		held := make(map[string]bool)
+		for _, ev := range events {
+			switch ev.kind {
+			case "acquire", "deferRelease":
+				held[ev.field] = true
+			case "release":
+				held[ev.field] = false
+			case "call":
+				for field, h := range held {
+					if !h {
+						continue
+					}
+					k := mutexKey{typ: tn, field: field}
+					if acquirers[k][ev.method] && ev.method != fn.Name.Name {
+						pass.Reportf(ev.pos,
+							"%s acquires %s.%s, which %s already holds — deadlock",
+							ev.method, tn.Name(), field, fn.Name.Name)
+					}
+				}
+			}
+		}
+	})
+}
+
+// forEachMethod visits every method declaration with a named-struct
+// receiver in the package.
+func forEachMethod(pass *Pass, visit func(fn *ast.FuncDecl, recv *types.Var, tn *types.TypeName)) {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil || len(fn.Recv.List) != 1 ||
+				len(fn.Recv.List[0].Names) != 1 {
+				continue
+			}
+			recvObj, ok := info.Defs[fn.Recv.List[0].Names[0]].(*types.Var)
+			if !ok {
+				continue
+			}
+			t := recvObj.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			n, ok := t.(*types.Named)
+			if !ok {
+				continue
+			}
+			visit(fn, recvObj, n.Obj())
+		}
+	}
+}
+
+// mutexOp recognizes recv.<field>.<op>() calls where field is a
+// sync.Mutex or sync.RWMutex, returning the field name and the op.
+func mutexOp(info *types.Info, call *ast.CallExpr, recv *types.Var) (field, op string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+	default:
+		return "", ""
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	base, ok := inner.X.(*ast.Ident)
+	if !ok || info.Uses[base] != recv {
+		return "", ""
+	}
+	tv, ok := info.Types[inner]
+	if !ok || !isSyncMutex(tv.Type) {
+		return "", ""
+	}
+	return inner.Sel.Name, sel.Sel.Name
+}
+
+func isSyncMutex(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+		(obj.Name() == "Mutex" || obj.Name() == "RWMutex")
+}
+
+// receiverMethodCall recognizes recv.M(...) calls, returning M.
+func receiverMethodCall(info *types.Info, call *ast.CallExpr, recv *types.Var) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	base, ok := sel.X.(*ast.Ident)
+	if !ok || info.Uses[base] != recv {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// ---- frozen-field writes ----
+
+func checkFrozen(pass *Pass) {
+	frozen := collectFrozenTypes(pass)
+	if len(frozen) == 0 {
+		return
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if hasMarker(fn.Doc, "topolint:mutator") {
+				continue
+			}
+			local := locallyConstructed(pass.TypesInfo, fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range n.Lhs {
+						checkFrozenWrite(pass, frozen, local, lhs)
+					}
+				case *ast.IncDecStmt:
+					checkFrozenWrite(pass, frozen, local, n.X)
+				}
+				return true
+			})
+		}
+	}
+}
+
+// frozenType records one topolint:frozen struct and its mutable fields.
+type frozenType struct {
+	mutable map[string]bool
+}
+
+func collectFrozenTypes(pass *Pass) map[*types.TypeName]*frozenType {
+	out := make(map[*types.TypeName]*frozenType)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				if !hasMarker(gd.Doc, "topolint:frozen") && !hasMarker(ts.Doc, "topolint:frozen") &&
+					!hasMarker(ts.Comment, "topolint:frozen") {
+					continue
+				}
+				tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+				if !ok {
+					continue
+				}
+				ft := &frozenType{mutable: make(map[string]bool)}
+				for _, field := range st.Fields.List {
+					if hasMarker(field.Doc, "topolint:mutable") || hasMarker(field.Comment, "topolint:mutable") {
+						for _, name := range field.Names {
+							ft.mutable[name.Name] = true
+						}
+					}
+				}
+				out[tn] = ft
+			}
+		}
+	}
+	return out
+}
+
+func hasMarker(cg *ast.CommentGroup, marker string) bool {
+	if cg == nil {
+		return false
+	}
+	return strings.Contains(cg.Text(), marker)
+}
+
+// locallyConstructed returns the objects of variables initialized in this
+// function directly from a composite literal or new(): fresh objects
+// whose fields may be populated freely before publication.
+func locallyConstructed(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	mark := func(id *ast.Ident, rhs ast.Expr) {
+		switch r := ast.Unparen(rhs).(type) {
+		case *ast.CompositeLit:
+		case *ast.UnaryExpr:
+			if r.Op != token.AND {
+				return
+			}
+			if _, ok := ast.Unparen(r.X).(*ast.CompositeLit); !ok {
+				return
+			}
+		case *ast.CallExpr:
+			if fid, ok := r.Fun.(*ast.Ident); !ok || fid.Name != "new" {
+				return
+			} else if _, builtin := info.Uses[fid].(*types.Builtin); !builtin {
+				return
+			}
+		default:
+			return
+		}
+		if obj := info.Defs[id]; obj != nil {
+			out[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok != token.DEFINE {
+				return true
+			}
+			for i, lhs := range n.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok && i < len(n.Rhs) {
+					mark(id, n.Rhs[i])
+				}
+			}
+		case *ast.ValueSpec:
+			for i, name := range n.Names {
+				if i < len(n.Values) {
+					mark(name, n.Values[i])
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// checkFrozenWrite reports the write when lhs bottoms out in a frozen
+// field selector.
+func checkFrozenWrite(pass *Pass, frozen map[*types.TypeName]*frozenType, local map[types.Object]bool, lhs ast.Expr) {
+	// Unwrap index/star/paren chains: p.sets[i] = v writes through p.sets.
+	e := lhs
+	for {
+		switch x := e.(type) {
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			goto done
+		}
+	}
+done:
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok {
+		return
+	}
+	ft, ok := frozen[n.Obj()]
+	if !ok || ft.mutable[sel.Sel.Name] {
+		return
+	}
+	if base, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+		if obj := pass.TypesInfo.Uses[base]; obj != nil && local[obj] {
+			return // writing into an object constructed in this function
+		}
+	}
+	pass.Reportf(lhs.Pos(),
+		"write to %s.%s: %s is marked topolint:frozen — published values are immutable "+
+			"(construct a new one, or mark the writer topolint:mutator if it is construction-phase)",
+		exprString(pass.Fset, sel.X), sel.Sel.Name, n.Obj().Name())
+}

@@ -1,0 +1,252 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// MapDeterminism guards the byte-stability of every canonical encoding:
+// Go's map iteration order is deliberately randomized, so a map range
+// whose body accumulates into a slice (or writes straight into an
+// encoder buffer) produces a different byte stream on every run unless
+// the accumulation is sorted before it escapes.
+//
+// Flagged:
+//   - a range over a map whose body appends into a slice that is later
+//     returned or passed to an encoder-shaped call (fingerprint, encode,
+//     canonical, marshal, write, hash, print...) with no intervening
+//     sort call on that slice;
+//   - a range over a map whose body writes directly into a
+//     bytes.Buffer/strings.Builder — the order has already leaked into
+//     the bytes, no later sort can fix it.
+//
+// The idiomatic fix is the one used throughout this repository: collect
+// the keys, sort them, range over the sorted slice.
+var MapDeterminism = &Analyzer{
+	Name: "mapdeterminism",
+	Doc: "flags map iteration order escaping into encoders, fingerprints, " +
+		"or returned slices without an intervening sort",
+	Run: runMapDeterminism,
+}
+
+// encoderCall matches callee names that serialize: once map order reaches
+// one of these, the output bytes depend on it.
+var encoderCall = regexp.MustCompile(`(?i)(fingerprint|encode|canonical|marshal|write|hash|sum|fprint|print)`)
+
+func runMapDeterminism(pass *Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				// Closure bodies are analyzed as part of their enclosing
+				// function: the accumulate-then-escape pattern regularly
+				// crosses the closure boundary (worker-pool callbacks).
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			checkMapRanges(pass, body)
+			return true
+		})
+	}
+	return nil
+}
+
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := info.Types[rng.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		// Direct buffer writes inside the loop: unfixable after the fact.
+		ast.Inspect(rng.Body, func(m ast.Node) bool {
+			call, ok := m.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if recv, meth := bufferWrite(info, call); recv != "" {
+				pass.Reportf(call.Pos(),
+					"map iteration order written into %s via %s; sort the keys and range over the slice",
+					recv, meth)
+			}
+			return true
+		})
+		// Slice accumulators appended inside the loop.
+		for _, obj := range loopAppendTargets(info, rng.Body) {
+			checkAccumulator(pass, body, rng, obj)
+		}
+		return true
+	})
+}
+
+// bufferWrite recognizes method calls that serialize into a
+// bytes.Buffer or strings.Builder.
+func bufferWrite(info *types.Info, call *ast.CallExpr) (recvType, method string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || !strings.HasPrefix(sel.Sel.Name, "Write") {
+		return "", ""
+	}
+	tv, ok := info.Types[sel.X]
+	if !ok {
+		return "", ""
+	}
+	t := tv.Type
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return "", ""
+	}
+	switch n.Obj().Pkg().Path() + "." + n.Obj().Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return n.Obj().Pkg().Name() + "." + n.Obj().Name(), sel.Sel.Name
+	}
+	return "", ""
+}
+
+// loopAppendTargets returns the objects of identifiers assigned with
+// append(...) inside the loop body.
+func loopAppendTargets(info *types.Info, body *ast.BlockStmt) []*types.Var {
+	var out []*types.Var
+	seen := make(map[*types.Var]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := rhs.(*ast.CallExpr)
+			if !ok || !isBuiltinAppend(info, call) || i >= len(as.Lhs) {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			var obj types.Object
+			if as.Tok == token.DEFINE {
+				obj = info.Defs[id]
+			} else {
+				obj = info.Uses[id]
+			}
+			if v, ok := obj.(*types.Var); ok && !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	_, isBuiltin := info.Uses[id].(*types.Builtin)
+	return isBuiltin
+}
+
+// checkAccumulator looks at everything after the map range for a sort on
+// the accumulator and for sinks it must not reach unsorted.
+func checkAccumulator(pass *Pass, funcBody *ast.BlockStmt, rng *ast.RangeStmt, obj *types.Var) {
+	sorted := false
+	var sinkPos token.Pos
+	var sinkKind string
+	ast.Inspect(funcBody, func(n ast.Node) bool {
+		if n == nil || n.Pos() <= rng.End() {
+			// Only statements after the loop matter; the loop itself and
+			// everything before it cannot sanitize or leak the result.
+			if _, ok := n.(*ast.RangeStmt); ok && n == rng {
+				return false
+			}
+			return true
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if referencesObj(pass.TypesInfo, n, obj) {
+				if isSortCall(pass.TypesInfo, n) {
+					sorted = true
+				} else if name := calleeName(n); encoderCall.MatchString(name) {
+					if sinkPos == token.NoPos {
+						sinkPos, sinkKind = n.Pos(), "passed to "+name
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if !referencesObj(pass.TypesInfo, res, obj) || sinkPos != token.NoPos {
+					continue
+				}
+				// A return whose value routes the accumulator through an
+				// encoder is reported as that encoder call.
+				kind := "returned"
+				ast.Inspect(res, func(m ast.Node) bool {
+					c, ok := m.(*ast.CallExpr)
+					if ok && referencesObj(pass.TypesInfo, c, obj) {
+						if name := calleeName(c); encoderCall.MatchString(name) {
+							kind = "passed to " + name
+							return false
+						}
+					}
+					return true
+				})
+				sinkPos, sinkKind = n.Pos(), kind
+			}
+		}
+		return true
+	})
+	if sinkPos != token.NoPos && !sorted {
+		pass.Reportf(sinkPos,
+			"%s is accumulated in map iteration order and %s without a sort; "+
+				"map order is randomized — sort before it escapes", obj.Name(), sinkKind)
+	}
+}
+
+// referencesObj reports whether the expression tree mentions obj.
+func referencesObj(info *types.Info, e ast.Node, obj *types.Var) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isSortCall recognizes calls into package sort or slices, and method
+// values like sort.Slice — any call through those packages is taken as
+// establishing a deterministic order.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	pkg, _ := calleePackage(info, call)
+	return pkg == "sort" || pkg == "slices"
+}
+
+// calleeName returns the bare name of the called function or method.
+func calleeName(call *ast.CallExpr) string {
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		return f.Name
+	case *ast.SelectorExpr:
+		return f.Sel.Name
+	}
+	return ""
+}

@@ -1,0 +1,135 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// geometryPackages are the import-path leaf segments of the packages where
+// every decision must be exact: no floating point of any kind. Elsewhere
+// only the representational rules on rat.R itself apply (floats are fine
+// in metrics, benchmarks and wire formats — they are display, not
+// decisions).
+var geometryPackages = map[string]bool{
+	"rat":       true,
+	"geom":      true,
+	"arrange":   true,
+	"fourint":   true,
+	"invariant": true,
+}
+
+// RatExact enforces the exact-arithmetic discipline.
+//
+// Everywhere:
+//   - rat.R values (and structs/arrays containing them) must not be
+//     compared with == or !=: the representation is not canonical across
+//     the inline/big split, so equality is Cmp(x) == 0, never ==.
+//   - rat.R must not be used as a map key or switch tag for the same
+//     reason; derive a comparable key with SmallKey instead.
+//
+// Inside the geometry-bearing packages (internal/rat, geom, arrange,
+// fourint, invariant) additionally:
+//   - no use of float32/float64 (literals, conversions, declarations),
+//   - no calls into package math (math/bits is exact and allowed).
+var RatExact = &Analyzer{
+	Name: "ratexact",
+	Doc: "flags ==/!=/map-key/switch use of rat.R and any floating point " +
+		"inside the geometry-bearing packages",
+	Run: runRatExact,
+}
+
+func runRatExact(pass *Pass) error {
+	geometry := geometryPackages[pathLeaf(pass.PkgPath)]
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if n.Op != token.EQL && n.Op != token.NEQ {
+					break
+				}
+				for _, side := range []ast.Expr{n.X, n.Y} {
+					if tv, ok := info.Types[side]; ok && containsRatR(tv.Type) {
+						pass.Reportf(n.OpPos,
+							"%s compares rat.R representationally; use Cmp (equality is Cmp == 0)", n.Op)
+						break
+					}
+				}
+			case *ast.MapType:
+				if tv, ok := info.Types[n.Key]; ok && containsRatR(tv.Type) {
+					pass.Reportf(n.Key.Pos(),
+						"map key contains rat.R, whose representation is not canonical; key on SmallKey instead")
+				}
+			case *ast.SwitchStmt:
+				if n.Tag != nil {
+					if tv, ok := info.Types[n.Tag]; ok && containsRatR(tv.Type) {
+						pass.Reportf(n.Tag.Pos(),
+							"switch on rat.R compares representationally; use Cmp")
+					}
+				}
+			case *ast.BasicLit:
+				if geometry && n.Kind == token.FLOAT {
+					pass.Reportf(n.Pos(),
+						"float literal %s in geometry package; decisions must be exact rationals", n.Value)
+				}
+			case *ast.Ident:
+				if geometry && isFloatTypeName(info, n) {
+					pass.Reportf(n.Pos(),
+						"%s in geometry package; decisions must be exact rationals", n.Name)
+				}
+			case *ast.CallExpr:
+				if geometry {
+					if pkg, name := calleePackage(info, n); pkg == "math" {
+						pass.Reportf(n.Pos(),
+							"math.%s call in geometry package; float math cannot be exact (math/bits is allowed)", name)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pathLeaf returns the last segment of an import path.
+func pathLeaf(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
+
+// isFloatTypeName reports whether the identifier is a use of the builtin
+// float32/float64 type names (covering declarations, conversions, struct
+// fields and signatures in one rule).
+func isFloatTypeName(info *types.Info, id *ast.Ident) bool {
+	if id.Name != "float32" && id.Name != "float64" {
+		return false
+	}
+	obj, ok := info.Uses[id]
+	if !ok {
+		return false
+	}
+	tn, ok := obj.(*types.TypeName)
+	return ok && tn.Pkg() == nil // builtin, not a shadowing declaration
+}
+
+// calleePackage resolves a call's target to (package name, function name)
+// when the callee is a package-level function of another package.
+func calleePackage(info *types.Info, call *ast.CallExpr) (pkg, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := info.Uses[id].(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Name(), sel.Sel.Name
+}

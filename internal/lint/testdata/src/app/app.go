@@ -1,0 +1,27 @@
+// Package app is the ratexact near-miss fixture: it is not
+// geometry-bearing, so floats are fine here (metrics, wire formats,
+// display) — only the representational rules on rat.R itself still apply.
+package app
+
+import "rat"
+
+// Quantile uses floats freely: serving-tier observability is display, not
+// decision.
+func Quantile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(samples)))
+	if i >= len(samples) {
+		i = len(samples) - 1
+	}
+	return samples[i]
+}
+
+// CompareRight still goes through Cmp even outside geometry.
+func CompareRight(a, b rat.R) bool { return a.Cmp(b) == 0 }
+
+// CompareWrong: the representational rule follows the type everywhere.
+func CompareWrong(a, b rat.R) bool {
+	return a == b // want "compares rat.R representationally"
+}

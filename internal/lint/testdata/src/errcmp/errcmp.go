@@ -1,0 +1,54 @@
+// Package errcmp exercises the errcompare analyzer: sentinel errors match
+// through errors.Is, never ==.
+package errcmp
+
+import "errors"
+
+// ErrGone is a package sentinel.
+var ErrGone = errors.New("gone")
+
+// ErrBusy is another sentinel.
+var ErrBusy = errors.New("busy")
+
+// wrapped is the typed-error shape whose Is method sanctions the direct
+// comparison below.
+type wrapped struct{ err error }
+
+func (w *wrapped) Error() string { return "wrapped: " + w.err.Error() }
+
+// Is implements the errors.Is protocol; the direct comparison inside it
+// is the one sanctioned place.
+func (w *wrapped) Is(target error) bool { return target == ErrGone }
+
+// CompareWrong misses every wrapped ErrGone.
+func CompareWrong(err error) bool {
+	return err == ErrGone // want "ErrGone compared with ==; wrapped errors never match"
+}
+
+// NotEqualWrong is the negated form of the same bug.
+func NotEqualWrong(err error) bool {
+	return err != ErrBusy // want "ErrBusy compared with !="
+}
+
+// SwitchWrong compares by identity through a switch.
+func SwitchWrong(err error) int {
+	switch err {
+	case ErrGone: // want "switch case compares ErrGone by identity"
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+// IsRight matches through wrapper chains.
+func IsRight(err error) bool { return errors.Is(err, ErrGone) }
+
+// NilRight: nil is not a sentinel; identity against nil is exact.
+func NilRight(err error) bool { return err == nil }
+
+// LocalRight: a function-local error value is not a package sentinel.
+func LocalRight(err error) bool {
+	sentinel := errors.New("local")
+	return err == sentinel
+}

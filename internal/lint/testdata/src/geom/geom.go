@@ -1,0 +1,74 @@
+// Package geom is a ratexact positive fixture: its import-path leaf makes
+// it geometry-bearing, so both the rat.R representational rules and the
+// float ban apply.
+package geom
+
+import (
+	"math"
+
+	"rat"
+)
+
+// Pt embeds rationals, so comparing Pt representationally is as wrong as
+// comparing R.
+type Pt struct {
+	X, Y rat.R
+}
+
+func EqualWrong(a, b rat.R) bool {
+	return a == b // want "compares rat.R representationally"
+}
+
+func NotEqualWrong(a, b rat.R) bool {
+	return a != b // want "compares rat.R representationally"
+}
+
+func StructCompareWrong(a, b Pt) bool {
+	return a == b // want "compares rat.R representationally"
+}
+
+func MapKeyWrong() map[rat.R]int { // want "map key contains rat.R"
+	return nil
+}
+
+func SwitchWrong(r rat.R) int {
+	switch r { // want "switch on rat.R"
+	case rat.FromInt(0):
+		return 0
+	}
+	return 1
+}
+
+func FloatLiteralWrong() {
+	_ = 0.5 // want "float literal"
+}
+
+func FloatConvWrong(n int64) {
+	_ = float64(n) // want "float64 in geometry package"
+}
+
+func MathCallWrong(x int64) int64 {
+	return int64(math.Abs(0)) + x // want "math.Abs call in geometry package"
+}
+
+// EqualRight is the sanctioned path: Cmp for equality, SmallKey for keys.
+func EqualRight(a, b rat.R) bool { return a.Cmp(b) == 0 }
+
+func MapKeyRight(a rat.R) map[[2]int64]bool {
+	n, d, ok := a.SmallKey()
+	if !ok {
+		return nil
+	}
+	return map[[2]int64]bool{{n, d}: true}
+}
+
+// IntMathRight: integer constants from math are exact and allowed; the
+// ban is on float-producing calls.
+func IntMathRight() int64 { return math.MaxInt64 }
+
+// Display is the documented escape hatch in action.
+//
+//lint:ignore ratexact display-only conversion, never on a decision path
+func Display(n int64) float64 {
+	return float64(n)
+}

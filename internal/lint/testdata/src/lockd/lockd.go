@@ -1,0 +1,103 @@
+// Package lockd exercises the lockdiscipline analyzer: mutex
+// re-acquisition through sibling methods, and writes to frozen types.
+package lockd
+
+import "sync"
+
+// Counter has a self-deadlock: Bump calls Value while holding mu, and
+// Value acquires mu itself.
+type Counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Value acquires the mutex.
+func (c *Counter) Value() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// BumpWrong re-acquires through a sibling method while holding.
+func (c *Counter) BumpWrong() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.Value() // want "Value acquires Counter.mu, which BumpWrong already holds"
+}
+
+// BumpRight releases before calling the acquiring sibling.
+func (c *Counter) BumpRight() int {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+	return c.Value()
+}
+
+// valueLocked is the locked-suffix idiom: callers hold mu, the method
+// does not re-acquire, so calling it under the lock is clean.
+func (c *Counter) valueLocked() int { return c.n }
+
+// BumpLockedRight calls the non-acquiring variant under the lock.
+func (c *Counter) BumpLockedRight() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.valueLocked()
+}
+
+// ScheduleRight hands the acquiring sibling to a closure that runs later
+// (timer callback, goroutine): the call does not execute under this
+// method's lock, so nothing is flagged.
+func (c *Counter) ScheduleRight(run func(func())) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	run(func() { _ = c.Value() })
+}
+
+// Pool is published immutable after construction.
+//
+// topolint:frozen
+type Pool struct {
+	sets  []int
+	cache map[string]int // topolint:mutable — guarded by its own protocol
+}
+
+// NewPool may populate the fresh object: composite-literal locals are
+// construction, not mutation.
+func NewPool() *Pool {
+	p := &Pool{cache: map[string]int{}}
+	p.sets = append(p.sets, 1)
+	return p
+}
+
+// intern is a sanctioned construction-phase writer.
+//
+// topolint:mutator
+func (p *Pool) intern(v int) {
+	p.sets = append(p.sets, v)
+}
+
+// GrowWrong mutates a published pool.
+func (p *Pool) GrowWrong(v int) {
+	p.sets = append(p.sets, v) // want "write to p.sets: Pool is marked topolint:frozen"
+}
+
+// PokeWrong writes through an element of a frozen field.
+func (p *Pool) PokeWrong(v int) {
+	p.sets[0] = v // want "write to p.sets: Pool is marked topolint:frozen"
+}
+
+// CacheRight writes a field whose mutation protocol is declared mutable.
+func (p *Pool) CacheRight(k string, v int) {
+	p.cache[k] = v
+}
+
+// ReadRight only reads.
+func (p *Pool) ReadRight() int {
+	if len(p.sets) == 0 {
+		return 0
+	}
+	return p.sets[0]
+}

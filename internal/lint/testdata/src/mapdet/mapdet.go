@@ -1,0 +1,89 @@
+// Package mapdet exercises the mapdeterminism analyzer: map iteration
+// order must not escape into returned slices or encoders unsorted.
+package mapdet
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// KeysWrong leaks map order straight into the returned slice.
+func KeysWrong(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out // want "accumulated in map iteration order and returned"
+}
+
+// EncodeWrong leaks map order into an encoder call.
+func EncodeWrong(m map[string]int) string {
+	var parts []string
+	for k, v := range m {
+		parts = append(parts, fmt.Sprint(k, v))
+	}
+	return encode(parts) // want "accumulated in map iteration order and passed to encode"
+}
+
+// BufferWrong writes map order directly into a builder: no later sort can
+// repair the bytes.
+func BufferWrong(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want "map iteration order written into strings.Builder"
+	}
+	return b.String()
+}
+
+// KeysRight is the idiom used throughout the repository: collect, sort,
+// then use.
+func KeysRight(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// EncodeRight sorts before the encoder sees the slice.
+func EncodeRight(m map[string]int) string {
+	var parts []string
+	for k := range m {
+		parts = append(parts, k)
+	}
+	sort.Strings(parts)
+	return encode(parts)
+}
+
+// CountRight never leaks order: aggregation into a scalar or another map
+// is order-independent.
+func CountRight(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// InvertRight builds a map from a map; insertion order is irrelevant.
+func InvertRight(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// SliceRangeRight ranges a slice, not a map: order is already
+// deterministic.
+func SliceRangeRight(xs []string) []string {
+	var out []string
+	for _, x := range xs {
+		out = append(out, x)
+	}
+	return out
+}
+
+func encode(parts []string) string { return strings.Join(parts, ",") }

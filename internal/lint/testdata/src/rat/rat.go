@@ -1,0 +1,28 @@
+// Package rat is a miniature stand-in for the real exact-rational package:
+// the analyzers key on a named type R in a package named rat, so this
+// fixture exercises exactly the same detection paths as the real thing.
+package rat
+
+// R is the fixture rational.
+type R struct {
+	num, den int64
+}
+
+// FromInt builds n/1.
+func FromInt(n int64) R { return R{num: n, den: 1} }
+
+// Cmp is the sanctioned comparison.
+func (r R) Cmp(s R) int {
+	a := r.num * s.den
+	b := s.num * r.den
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	}
+	return 0
+}
+
+// SmallKey is the sanctioned comparable-key derivation.
+func (r R) SmallKey() (num, den int64, ok bool) { return r.num, r.den, true }

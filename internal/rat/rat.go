@@ -125,6 +125,8 @@ func (r R) Rat() *big.Rat {
 }
 
 // Float64 returns the nearest float64 (for display and non-decision uses only).
+//
+//lint:ignore ratexact deliberate escape hatch: display-only conversion, never on a decision path
 func (r R) Float64() float64 {
 	if r.big != nil {
 		f, _ := r.big.Float64()

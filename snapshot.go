@@ -26,6 +26,8 @@ import (
 // arrangement is still built at most once per generation. A Snapshot
 // stays valid forever; it simply keeps its generation's artifacts alive
 // until the last reference drops.
+//
+// topolint:frozen — a snapshot never repoints its generation.
 type Snapshot struct {
 	c *genCache
 }
