@@ -101,6 +101,27 @@ func (c *genCache) dropParent() {
 	c.mu.Unlock()
 }
 
+// releaseProv clears the delta provenance on the generation's materialized
+// arrangement artifacts (the monolithic/stitched arrangement and every
+// shard sub-arrangement). Called when the generation becomes a parent
+// itself: its provenance points one more generation back, which the cache
+// must not retain. Incremental consumers gate on parentLink — cut in the
+// same breath — before reading provenance, and in-flight derivations hold
+// their own loaded pointer, so clearing under them degrades them to the
+// cold fallback at worst.
+func (c *genCache) releaseProv() {
+	if v, ok := c.completed(artifactKey{kind: arrangementKind}); ok {
+		v.(*arrange.Arrangement).ClearProv()
+	}
+	if v, ok := c.completed(artifactKey{kind: shardedKind}); ok {
+		for _, sub := range v.(*arrange.Sharded).Subs {
+			if sub != nil {
+				sub.ClearProv()
+			}
+		}
+	}
+}
+
 // completed returns an artifact's value only if its build already finished
 // successfully — it never waits and never triggers a build. The
 // incremental paths use it: deriving from a parent artifact is only
@@ -254,6 +275,7 @@ func (c *artifactCache) at(gen uint64, in *spatial.Instance) *genCache {
 			g.parent = p
 			g.added = d.added
 			p.dropParent()
+			p.releaseProv()
 		}
 		c.cur = g
 		c.pending = nil
@@ -272,7 +294,10 @@ var incrementalMax atomic.Int64
 // bulk-load territory.
 const defaultIncrementalMax = 64
 
-func init() { incrementalMax.Store(defaultIncrementalMax) }
+func init() {
+	incrementalMax.Store(defaultIncrementalMax)
+	derivedIncrementalMax.Store(defaultIncrementalMax)
+}
 
 // SetIncrementalMax sets the largest number of added regions for which a
 // new generation derives its arrangement incrementally from the previous
@@ -282,6 +307,21 @@ func init() { incrementalMax.Store(defaultIncrementalMax) }
 // benchmarks, equivalence tests, and workloads whose bulk batches are
 // better served cold.
 func SetIncrementalMax(n int) int { return int(incrementalMax.Swap(int64(n))) }
+
+// derivedIncrementalMax independently bounds the delta size for which the
+// artifacts derived from the arrangement — the query universe and the
+// invariant — are maintained incrementally from the parent generation's.
+var derivedIncrementalMax atomic.Int64
+
+// SetDerivedIncrementalMax sets the largest number of added regions for
+// which a new generation derives its query universe and invariant
+// incrementally from the previous generation's (via the arrangement's
+// delta provenance) instead of recomputing them cold, returning the
+// previous setting. 0 disables incremental derivation of these artifacts
+// while leaving arrangement maintenance (SetIncrementalMax) untouched.
+// The default is 64. Both paths produce byte-identical artifacts; the knob
+// exists for benchmarks, equivalence tests, and as an escape hatch.
+func SetDerivedIncrementalMax(n int) int { return int(derivedIncrementalMax.Swap(int64(n))) }
 
 // buildArrangement derives the generation's arrangement: from the sharded
 // artifact via arrange.Stitch when the instance is past the shard
@@ -299,13 +339,36 @@ func (c *genCache) buildArrangement(ctx context.Context) (any, error) {
 		if err != nil {
 			return nil, err
 		}
-		return arrange.Stitch(ctx, v.(*arrange.Sharded))
+		sh := v.(*arrange.Sharded)
+		// When this generation extends a parent whose sharded artifact and
+		// stitched arrangement both materialized, compose the per-shard
+		// delta provenance into a global one (StitchInc), so universe and
+		// invariant derivation can stay incremental across the stitch.
+		if parent, _ := c.parentLink(); parent != nil {
+			if pv, ok := parent.completed(artifactKey{kind: shardedKind}); ok {
+				if pa, ok2 := parent.completed(artifactKey{kind: arrangementKind}); ok2 {
+					a, err := arrange.StitchInc(ctx, sh, pv.(*arrange.Sharded), pa.(*arrange.Arrangement))
+					if err != nil {
+						return nil, err
+					}
+					if a.Prov() != nil {
+						derivCounters[derivArrangementIncremental].Add(1)
+					} else {
+						derivCounters[derivArrangementCold].Add(1)
+					}
+					return a, nil
+				}
+			}
+		}
+		derivCounters[derivArrangementCold].Add(1)
+		return arrange.Stitch(ctx, sh)
 	}
 	if parent, added := c.parentLink(); parent != nil &&
 		int64(len(added)) <= incrementalMax.Load() {
 		if v, ok := parent.completed(artifactKey{kind: arrangementKind}); ok {
 			a, err := arrange.Insert(ctx, v.(*arrange.Arrangement), c.in, added...)
 			if err == nil {
+				derivCounters[derivArrangementIncremental].Add(1)
 				return a, nil
 			}
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -313,6 +376,7 @@ func (c *genCache) buildArrangement(ctx context.Context) (any, error) {
 			}
 		}
 	}
+	derivCounters[derivArrangementCold].Add(1)
 	return arrange.BuildCtx(ctx, c.in)
 }
 
@@ -331,6 +395,11 @@ func (c *genCache) buildSharded(ctx context.Context) (any, error) {
 		if v, ok := parent.completed(artifactKey{kind: shardedKind}); ok {
 			sh, err := arrange.InsertSharded(ctx, v.(*arrange.Sharded), c.in, added...)
 			if err == nil {
+				for _, nanos := range sh.BuildNanos {
+					if nanos == 0 {
+						derivCounters[derivArrangementAliased].Add(1)
+					}
+				}
 				return sh, nil
 			}
 			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
@@ -455,8 +524,12 @@ func (s *Snapshot) arrangement(ctx context.Context) (*arrange.Arrangement, error
 }
 
 // universe returns the memoized query universe at refinement level k. The
-// unrefined universe is derived from the shared arrangement; refined ones
-// need their own scaffolded arrangement.
+// unrefined universe is derived from the shared arrangement — incrementally
+// from the parent generation's universe when the arrangement itself was
+// derived incrementally (its delta provenance carries the extents forward;
+// see folang.InsertUniverse) — and refined ones need their own scaffolded
+// arrangement. Incremental failures other than cancellation fall back to
+// the cold build, mirroring buildArrangement's discipline.
 func (s *Snapshot) universe(ctx context.Context, k int) (*folang.Universe, error) {
 	v, err := s.c.get(ctx, artifactKey{kind: universeKind, k: k}, func() (any, error) {
 		if k == 0 {
@@ -464,8 +537,23 @@ func (s *Snapshot) universe(ctx context.Context, k int) (*folang.Universe, error
 			if err != nil {
 				return nil, err
 			}
+			if parent, added := s.c.parentLink(); parent != nil &&
+				int64(len(added)) <= derivedIncrementalMax.Load() {
+				if v, ok := parent.completed(artifactKey{kind: universeKind, k: 0}); ok {
+					u, err := folang.InsertUniverse(ctx, v.(*folang.Universe), a, s.c.in)
+					if err == nil {
+						derivCounters[derivUniverseIncremental].Add(1)
+						return u, nil
+					}
+					if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+						return nil, err
+					}
+				}
+			}
+			derivCounters[derivUniverseCold].Add(1)
 			return folang.NewUniverseFromArrangementCtx(ctx, a, s.c.in)
 		}
+		derivCounters[derivUniverseCold].Add(1)
 		return folang.NewUniverseCtx(ctx, s.c.in, k)
 	})
 	if err != nil {
@@ -474,14 +562,31 @@ func (s *Snapshot) universe(ctx context.Context, k int) (*folang.Universe, error
 	return v.(*folang.Universe), nil
 }
 
-// invariantT returns the memoized topological invariant T_I.
+// invariantT returns the memoized topological invariant T_I, derived
+// incrementally from the parent generation's when the arrangement carries
+// delta provenance (untouched components keep their canonical traversal
+// starts; see invariant.FromArrangementDelta), cold otherwise.
 func (s *Snapshot) invariantT(ctx context.Context) (*invariant.T, error) {
 	v, err := s.c.get(ctx, artifactKey{kind: invariantKind}, func() (any, error) {
 		a, err := s.arrangement(ctx)
 		if err != nil {
 			return nil, err
 		}
-		return invariant.FromArrangement(a)
+		if parent, added := s.c.parentLink(); parent != nil &&
+			int64(len(added)) <= derivedIncrementalMax.Load() {
+			if v, ok := parent.completed(artifactKey{kind: invariantKind}); ok {
+				t, err := invariant.FromArrangementDelta(ctx, a, v.(*invariant.T))
+				if err == nil {
+					derivCounters[derivInvariantIncremental].Add(1)
+					return t, nil
+				}
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return nil, err
+				}
+			}
+		}
+		derivCounters[derivInvariantCold].Add(1)
+		return invariant.FromArrangementCtx(ctx, a)
 	})
 	if err != nil {
 		return nil, err
@@ -492,6 +597,8 @@ func (s *Snapshot) invariantT(ctx context.Context) (*invariant.T, error) {
 // sinvariantT returns the memoized S-invariant (Theorem 6.1).
 func (s *Snapshot) sinvariantT(ctx context.Context) (*invariant.T, error) {
 	v, err := s.c.get(ctx, artifactKey{kind: sinvariantKind}, func() (any, error) {
+		// Always cold: any delta moves the alignment scaffold globally.
+		derivCounters[derivSInvariantCold].Add(1)
 		return invariant.SInvariantCtx(ctx, s.c.in)
 	})
 	if err != nil {

@@ -24,7 +24,7 @@ import (
 
 // benchRow is one measurement of the performance baseline.
 type benchRow struct {
-	Name        string  `json:"name"`     // cold_build | all_pairs | cached_query | incremental_add | point_location | prepared_query | large_build | large_incremental_add
+	Name        string  `json:"name"`     // cold_build | all_pairs | cached_query | incremental_add | incremental_universe | incremental_invariant | point_location | prepared_query | large_build | large_incremental_add | sharded_*
 	Workload    string  `json:"workload"` // generator name
 	Size        int     `json:"size"`     // region count
 	Mode        string  `json:"mode"`     // sweep|naive, pruned|unpruned, warm|cold, incremental|cold, indexed|scan
@@ -182,6 +182,13 @@ func collectBench() benchDoc {
 			})))
 		arrange.SetRegionBudget(oldBudget)
 	}
+
+	// Incremental derived artifacts: the end-to-end warm mutation→query
+	// pipeline (single-region Apply, then the first Query or Invariant on
+	// the new generation) vs the same sequence with incremental
+	// maintenance disabled. Runs second, right after the sharded family,
+	// for the same GC-pacing reason.
+	rows = append(rows, incrementalArtifactRows()...)
 
 	// Cold arrangement construction, sweep vs all-pairs reference.
 	type buildCase struct {
@@ -373,6 +380,79 @@ func collectBench() benchDoc {
 	return benchDoc{Schema: "topodb-bench/v1", GoMaxProcs: runtime.GOMAXPROCS(0), Rows: rows}
 }
 
+// incrementalArtifactRows measures the end-to-end incremental
+// mutation→query pipeline: a warm single-region Apply followed by the
+// first Query (incremental_universe rows: the query universe is the
+// artifact that must materialize) or Invariant().Canonical()
+// (incremental_invariant rows) on the new generation, against the same
+// Apply+Query sequence with every maintenance knob zeroed so the
+// arrangement, universe and invariant all recompute cold. The two paths
+// produce byte-identical artifacts (property-tested in
+// incremental_artifacts_test.go); the metro rows carry an absolute ≥5x
+// gate in compareBench — the cold universe's label scans and the cold
+// canonicalization's start minimization are both superlinear, which is
+// exactly what the delta derivations avoid.
+func incrementalArtifactRows() []benchRow {
+	var rows []benchRow
+	oldBudget := arrange.SetRegionBudget(200000)
+	defer arrange.SetRegionBudget(oldBudget)
+	fams := []struct {
+		wl                   string
+		size                 int
+		in                   *spatial.Instance
+		warmIters, coldIters int
+	}{
+		// Metro: 2500 box-disjoint districts of 4 border-sharing blocks —
+		// sharded, big merged components, expensive cold canonicalization.
+		{"metro_grid", 10000, workload.MetroGrid(10000, 2, 0), 3, 1},
+		// Scatter: 200 regions, monolithic path, cheap enough to repeat.
+		{"sparse_scatter", 200, workload.SparseScatter(200), 8, 3},
+	}
+	for _, f := range fams {
+		q := "some cell r: subset(r, " + f.in.Names()[0] + ")"
+		for _, family := range []string{"incremental_universe", "incremental_invariant"} {
+			for _, mode := range []string{"incremental", "cold"} {
+				db := topodb.Wrap(f.in.Clone())
+				iters := f.warmIters
+				restore := func() {}
+				if mode == "cold" {
+					iters = f.coldIters
+					oldInc := topodb.SetIncrementalMax(0)
+					oldDer := topodb.SetDerivedIncrementalMax(0)
+					restore = func() {
+						topodb.SetIncrementalMax(oldInc)
+						topodb.SetDerivedIncrementalMax(oldDer)
+					}
+				}
+				serial := 0
+				op := func() {
+					name := fmt.Sprintf("Zw%06d", serial)
+					x := int64(9000000 + 10*serial)
+					serial++
+					check(db.Apply(func(tx *topodb.Txn) error {
+						return tx.AddRect(name, x, 9000000, x+4, 9000004)
+					}))
+					if family == "incremental_universe" {
+						if ok, err := db.Query(q); err != nil || !ok {
+							check(fmt.Errorf("%s query failed: %v %v", family, ok, err))
+						}
+					} else {
+						iv, err := db.Invariant()
+						check(err)
+						if iv.Canonical() == "" {
+							check(fmt.Errorf("empty canonical encoding"))
+						}
+					}
+				}
+				op() // materialize the base generation's artifacts
+				rows = append(rows, row(family, f.wl, f.size, mode, minTimed(iters, op)))
+				restore()
+			}
+		}
+	}
+	return rows
+}
+
 // bench runs the performance baseline and prints it as a text table, or as
 // the BENCH_prN.json document with -json.
 func bench() {
@@ -409,6 +489,9 @@ var speedupPairs = map[string][2]string{
 	"sharded_build":           {"sharded", "monolithic"},
 	"sharded_incremental_add": {"incremental", "cold"},
 	"sharded_locate":          {"sharded", "monolithic"},
+
+	"incremental_universe":  {"incremental", "cold"},
+	"incremental_invariant": {"incremental", "cold"},
 }
 
 // newestBaseline returns the committed BENCH_prN.json with the highest N
@@ -507,6 +590,16 @@ func compareBench(baselinePath string) {
 			// The sharded cold build's win is asymptotic (shard-local
 			// labeling), so it carries an absolute floor: at least 5x over
 			// the monolithic sweep at n=10k on any machine.
+			floor = 5
+		}
+		if (r.Name == "incremental_universe" || r.Name == "incremental_invariant") &&
+			r.Workload == "metro_grid" && floor < 5 {
+			// The acceptance bar for the incremental mutation→query
+			// pipeline: a warm single-region Apply followed by the first
+			// derived-artifact read at metro scale must stay at least 5x
+			// ahead of cold recomputation on any machine — the cold side's
+			// costs (universe label scans, canonical start minimization)
+			// are superlinear, so the ratio only grows with n.
 			floor = 5
 		}
 		if r.Name == "sharded_incremental_add" && floor < 10 {

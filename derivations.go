@@ -1,0 +1,56 @@
+package topodb
+
+import "sync/atomic"
+
+// Derivation counters: process-global, monotone tallies of how each
+// derived artifact was produced, so operators can see whether the warm
+// Apply→Query path is actually staying incremental. Modes: cold (full
+// recomputation), incremental (derived from the parent generation's
+// artifact via delta provenance), aliased (work skipped entirely because
+// the artifact — a shard's sub-arrangement — was shared by pointer from
+// the parent generation; counted per shard). The S-invariant is always
+// cold: its alignment scaffold shifts globally under any delta.
+var derivCounters [8]atomic.Uint64
+
+const (
+	derivArrangementCold = iota
+	derivArrangementIncremental
+	derivArrangementAliased
+	derivUniverseCold
+	derivUniverseIncremental
+	derivInvariantCold
+	derivInvariantIncremental
+	derivSInvariantCold
+)
+
+// derivationRows fixes the (kind, mode) enumeration order — every row is
+// always present, zero-valued or not, so scrapes are deterministic.
+var derivationRows = [8]struct{ kind, mode string }{
+	{"arrangement", "cold"},
+	{"arrangement", "incremental"},
+	{"arrangement", "aliased"},
+	{"universe", "cold"},
+	{"universe", "incremental"},
+	{"invariant", "cold"},
+	{"invariant", "incremental"},
+	{"sinvariant", "cold"},
+}
+
+// DerivationCount is one row of the artifact-derivation tallies.
+type DerivationCount struct {
+	Kind string // arrangement | universe | invariant | sinvariant
+	Mode string // cold | incremental | aliased
+	N    uint64
+}
+
+// ArtifactDerivationCounts returns the process-wide artifact derivation
+// tallies in a fixed (kind, mode) order, including zero rows. The counts
+// are cumulative across all Instances in the process; serving tiers poll
+// them at scrape time.
+func ArtifactDerivationCounts() []DerivationCount {
+	out := make([]DerivationCount, len(derivationRows))
+	for i, r := range derivationRows {
+		out[i] = DerivationCount{Kind: r.kind, Mode: r.mode, N: derivCounters[i].Load()}
+	}
+	return out
+}

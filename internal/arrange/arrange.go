@@ -17,6 +17,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"topodb/internal/geom"
 	"topodb/internal/rat"
@@ -172,6 +173,10 @@ type Arrangement struct {
 		tree   *geom.IntervalIndex
 		lo, hi []rat.R // per-edge x-extents the tree was built over
 	}
+
+	// prov is the delta provenance of an incrementally derived arrangement
+	// (see prov.go); nil for cold builds and after ClearProv.
+	prov atomic.Pointer[Provenance]
 }
 
 // RegionIndex returns the index of a region name, or -1.

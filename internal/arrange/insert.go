@@ -100,6 +100,7 @@ type inserter struct {
 	walkDirty   []bool           // walk contains a dirty half-edge
 	cleanFaceOf []int            // new face -> parent face it equals, or -1
 	compChanged []bool           // new comp -> delta touched it
+	compParent  []int32          // new comp -> untouched parent comp, or -1
 }
 
 func (s *inserter) run(ctx context.Context, added []string) (*Arrangement, error) {
@@ -218,6 +219,7 @@ func (s *inserter) run(ctx context.Context, added []string) (*Arrangement, error
 	if err := s.rebuildLabels(ctx); err != nil {
 		return nil, err
 	}
+	s.recordProvenance()
 	return b, nil
 }
 
@@ -609,6 +611,7 @@ func (s *inserter) rebuildComponents(gained map[int][]int) {
 	}
 	b.Comps = make([]Component, 0, nPC+1)
 	s.compChanged = s.compChanged[:0]
+	s.compParent = s.compParent[:0]
 	assign := func(nodeIdx int32) int32 {
 		r := find(nodeIdx)
 		if newID[r] != -1 {
@@ -618,6 +621,7 @@ func (s *inserter) rebuildComponents(gained map[int][]int) {
 		newID[r] = id
 		b.Comps = append(b.Comps, Component{ParentFace: -1})
 		s.compChanged = append(s.compChanged, changedRoot[r])
+		s.compParent = append(s.compParent, -1)
 		return id
 	}
 	for pc := 0; pc < nPC; pc++ {
@@ -626,6 +630,7 @@ func (s *inserter) rebuildComponents(gained map[int][]int) {
 			c := parent.Comps[pc]
 			c.ParentFace = -1
 			b.Comps[id] = c
+			s.compParent[id] = int32(pc)
 			if int(id) != pc {
 				for _, vi := range c.Verts {
 					b.Verts[vi].Comp = int(id)

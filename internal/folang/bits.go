@@ -80,6 +80,16 @@ func (b Bits) Equal(c Bits) bool {
 	return true
 }
 
+// ForEach calls fn for every member, in increasing order.
+func (b Bits) ForEach(fn func(i int)) {
+	for wi, w := range b {
+		for w != 0 {
+			fn(wi*64 + bits.TrailingZeros64(w))
+			w &= w - 1
+		}
+	}
+}
+
 // Key returns a map key for the set.
 func (b Bits) Key() string {
 	buf := make([]byte, 0, len(b)*8)

@@ -34,10 +34,16 @@ type Universe struct {
 	In *spatial.Instance
 
 	nf, ne, nv int
-	closure    []Bits // closure of each cell
-	regions    map[string]Bits
-	faceBits   Bits // all face cells
-	exterior   int  // cell id of the exterior face
+	// Cell closures in compressed sparse rows: the closure of cell i is
+	// cloList[cloOff[i]:cloOff[i+1]] (the cell itself included). Closures
+	// are tiny (a face closes over its boundary edges and their endpoints,
+	// an edge over its endpoints), so the CSR form is linear in the complex
+	// where per-cell bitsets would be quadratic.
+	cloOff   []int32
+	cloList  []int32
+	regions  map[string]Bits
+	faceBits Bits // all face cells
+	exterior int  // cell id of the exterior face
 
 	// faceAdj: faces sharing an edge (by face cell index).
 	faceAdj [][]int
@@ -130,11 +136,68 @@ func canceled(ctx context.Context) error {
 }
 
 func newUniverseFrom(ctx context.Context, a *arrange.Arrangement, in *spatial.Instance) (*Universe, error) {
-	u := &Universe{
+	u := universeShell(a, in)
+	if err := u.buildStructure(ctx); err != nil {
+		return nil, err
+	}
+
+	// Region extents: the open set of cells labeled Interior, sliced from
+	// one shared backing array (one allocation instead of one per region).
+	byIdx := u.allocExtents()
+	for ri := range a.Names {
+		if ri&63 == 0 && ctx.Err() != nil {
+			return nil, canceled(ctx)
+		}
+		bs := byIdx[ri]
+		for fi := range a.Faces {
+			if a.Faces[fi].Label[ri] == arrange.Interior {
+				bs.Set(u.faceCell(fi))
+			}
+		}
+		for ei := range a.Edges {
+			if a.Edges[ei].Label[ri] == arrange.Interior {
+				bs.Set(u.edgeCell(ei))
+			}
+		}
+		for vi := range a.Verts {
+			if a.Verts[vi].Label[ri] == arrange.Interior {
+				bs.Set(u.vertCell(vi))
+			}
+		}
+	}
+	return u, nil
+}
+
+// universeShell allocates a universe with dimensions set but structure and
+// extents empty — shared by the cold build and InsertUniverse.
+func universeShell(a *arrange.Arrangement, in *spatial.Instance) *Universe {
+	return &Universe{
 		A: a, In: in,
 		nf: len(a.Faces), ne: len(a.Edges), nv: len(a.Verts),
-		regions: make(map[string]Bits),
+		regions: make(map[string]Bits, len(a.Names)),
 	}
+}
+
+// allocExtents carves one per-region extent bitset per name out of a single
+// shared backing array, registers each under its name, and returns them
+// indexed by region index for positional fills.
+func (u *Universe) allocExtents() []Bits {
+	words := (u.NumCells() + 63) / 64
+	backing := make([]uint64, words*len(u.A.Names))
+	byIdx := make([]Bits, len(u.A.Names))
+	for ri, name := range u.A.Names {
+		byIdx[ri] = Bits(backing[ri*words : (ri+1)*words])
+		u.regions[name] = byIdx[ri]
+	}
+	return byIdx
+}
+
+// buildStructure fills the universe's structural tables — cell closures
+// (CSR), edge→face and vertex→cell incidence, face adjacency — in one
+// linear pass over the face walks plus one over the edges. A face closes
+// over its boundary edges and their endpoints; an edge over its endpoints.
+func (u *Universe) buildStructure(ctx context.Context) error {
+	a := u.A
 	n := u.NumCells()
 	u.exterior = u.faceCell(a.Exterior)
 	u.faceBits = NewBits(n)
@@ -142,57 +205,67 @@ func newUniverseFrom(ctx context.Context, a *arrange.Arrangement, in *spatial.In
 		u.faceBits.Set(u.faceCell(i))
 	}
 
-	// Closures. A face's closure adds its boundary edges and their
-	// endpoints; an edge's closure adds its endpoints.
-	u.closure = make([]Bits, n)
-	for i := 0; i < n; i++ {
-		u.closure[i] = NewBits(n)
-		u.closure[i].Set(i)
-	}
 	u.edgeFaces = make([][]int, u.ne)
 	u.vertCells = make([][]int, u.nv)
-	addEdgeToFace := func(f, e int) {
-		fc, ec := u.faceCell(f), u.edgeCell(e)
-		if !u.closure[fc].Has(ec) {
-			u.closure[fc].Set(ec)
-			u.edgeFaces[e] = append(u.edgeFaces[e], f)
-		}
+	u.cloOff = make([]int32, n+1)
+	u.cloList = make([]int32, 0, n+9*u.ne)
+
+	// Per-face dedup stamps: an edge (or vertex) joins a face's closure
+	// once even when the walks visit it repeatedly.
+	edgeStamp := make([]int32, u.ne)
+	for i := range edgeStamp {
+		edgeStamp[i] = -1
 	}
-	for fi, f := range a.Faces {
+	vertStamp := make([]int32, u.nv)
+	for i := range vertStamp {
+		vertStamp[i] = -1
+	}
+
+	for fi := range a.Faces {
 		if fi&255 == 0 && ctx.Err() != nil {
-			return nil, canceled(ctx)
+			return canceled(ctx)
 		}
-		for _, w := range f.Walks {
+		u.cloList = append(u.cloList, int32(u.faceCell(fi)))
+		for _, w := range a.Faces[fi].Walks {
 			for _, h := range a.WalkHalfEdges(w) {
-				addEdgeToFace(fi, a.Half[h].Edge)
+				ei := a.Half[h].Edge
+				if edgeStamp[ei] == int32(fi) {
+					continue
+				}
+				edgeStamp[ei] = int32(fi)
+				u.edgeFaces[ei] = append(u.edgeFaces[ei], fi)
+				u.cloList = append(u.cloList, int32(u.edgeCell(ei)))
+				e := &a.Edges[ei]
+				for _, v := range [2]int{e.V1, e.V2} {
+					if vertStamp[v] == int32(fi) {
+						continue
+					}
+					vertStamp[v] = int32(fi)
+					u.vertCells[v] = append(u.vertCells[v], u.faceCell(fi))
+					u.cloList = append(u.cloList, int32(u.vertCell(v)))
+				}
 			}
 		}
+		u.cloOff[u.faceCell(fi)+1] = int32(len(u.cloList))
 	}
-	for ei, e := range a.Edges {
+	for ei := range a.Edges {
+		if ei&1023 == 0 && ctx.Err() != nil {
+			return canceled(ctx)
+		}
+		e := &a.Edges[ei]
 		ec := u.edgeCell(ei)
-		for _, v := range []int{e.V1, e.V2} {
-			vc := u.vertCell(v)
-			u.closure[ec].Set(vc)
-			u.vertCells[v] = append(u.vertCells[v], ec)
+		u.cloList = append(u.cloList, int32(ec), int32(u.vertCell(e.V1)))
+		u.vertCells[e.V1] = append(u.vertCells[e.V1], ec)
+		if e.V2 != e.V1 {
+			u.cloList = append(u.cloList, int32(u.vertCell(e.V2)))
+			u.vertCells[e.V2] = append(u.vertCells[e.V2], ec)
 		}
-		// Faces also close over the edge's endpoints.
-		for _, f := range u.edgeFaces[ei] {
-			u.closure[u.faceCell(f)].Set(u.vertCell(e.V1))
-			u.closure[u.faceCell(f)].Set(u.vertCell(e.V2))
-		}
+		u.cloOff[ec+1] = int32(len(u.cloList))
 	}
-	// Record face cells incident to each vertex (for openness checks).
-	// This is the universe's quadratic pass (V×F bit probes), so it polls
-	// the context like the arrangement's own hot loops do.
-	for vi := range a.Verts {
-		if vi&63 == 0 && ctx.Err() != nil {
-			return nil, canceled(ctx)
-		}
-		for fi := range a.Faces {
-			if u.closure[u.faceCell(fi)].Has(u.vertCell(vi)) {
-				u.vertCells[vi] = append(u.vertCells[vi], u.faceCell(fi))
-			}
-		}
+	for vi := 0; vi < u.nv; vi++ {
+		vc := u.vertCell(vi)
+		u.cloList = append(u.cloList, int32(vc))
+		u.cloOff[vc+1] = int32(len(u.cloList))
 	}
 
 	// Face adjacency via shared edges.
@@ -204,31 +277,7 @@ func newUniverseFrom(ctx context.Context, a *arrange.Arrangement, in *spatial.In
 			u.faceAdj[fs[1]] = append(u.faceAdj[fs[1]], fs[0])
 		}
 	}
-
-	// Region extents: the open set of cells labeled Interior.
-	for ri, name := range a.Names {
-		if ri&63 == 0 && ctx.Err() != nil {
-			return nil, canceled(ctx)
-		}
-		bs := NewBits(n)
-		for fi, f := range a.Faces {
-			if f.Label[ri] == arrange.Interior {
-				bs.Set(u.faceCell(fi))
-			}
-		}
-		for ei, e := range a.Edges {
-			if e.Label[ri] == arrange.Interior {
-				bs.Set(u.edgeCell(ei))
-			}
-		}
-		for vi, v := range a.Verts {
-			if v.Label[ri] == arrange.Interior {
-				bs.Set(u.vertCell(vi))
-			}
-		}
-		u.regions[name] = bs
-	}
-	return u, nil
+	return nil
 }
 
 // Region returns the cell-set extent of a named region, or nil.
@@ -237,11 +286,11 @@ func (u *Universe) Region(name string) Bits { return u.regions[name] }
 // ClosureOf returns the topological closure of a cell set.
 func (u *Universe) ClosureOf(b Bits) Bits {
 	out := NewBits(u.NumCells())
-	for i := 0; i < u.NumCells(); i++ {
-		if b.Has(i) {
-			out.Or(u.closure[i])
+	b.ForEach(func(i int) {
+		for _, j := range u.cloList[u.cloOff[i]:u.cloOff[i+1]] {
+			out.Set(int(j))
 		}
-	}
+	})
 	return out
 }
 

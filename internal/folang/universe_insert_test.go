@@ -1,0 +1,153 @@
+package folang
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"topodb/internal/arrange"
+	"topodb/internal/spatial"
+	"topodb/internal/workload"
+)
+
+func restrict(in *spatial.Instance, names []string) *spatial.Instance {
+	out := spatial.New()
+	for _, n := range names {
+		out.MustAdd(n, in.MustExt(n))
+	}
+	return out
+}
+
+func universeCases() map[string]*spatial.Instance {
+	return map[string]*spatial.Instance{
+		"rect_grid":      workload.RectGrid(3),
+		"overlap_chain":  workload.OverlapChain(10),
+		"nested_rings":   workload.NestedRings(7),
+		"county_mesh":    workload.CountyMesh(3),
+		"lens_stack":     workload.LensStack(8),
+		"circle_pair":    workload.CirclePair(12),
+		"sparse_scatter": workload.SparseScatter(40),
+		"city_blocks":    workload.CityBlocks(4),
+	}
+}
+
+// Property: deriving the universe incrementally — from a parent universe
+// and the delta provenance of an incrementally derived arrangement, over a
+// chain where every parent is itself an InsertUniverse product — yields at
+// every generation a universe whose canonical fingerprint is identical to
+// the cold construction over the same arrangement.
+func TestInsertUniverseMatchesCold(t *testing.T) {
+	ctx := context.Background()
+	for name, in := range universeCases() {
+		t.Run(name, func(t *testing.T) {
+			names := in.Names()
+			for trial := 0; trial < 2; trial++ {
+				rng := rand.New(rand.NewSource(int64(len(name)*10 + trial)))
+				order := append([]string(nil), names...)
+				if trial == 1 {
+					// Reversed insertion exercises the non-identity remap.
+					for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+						order[i], order[j] = order[j], order[i]
+					}
+				}
+				k := 1 + rng.Intn(2)
+				sub := restrict(in, order[:k])
+				a, err := arrange.Build(sub)
+				if err != nil {
+					t.Fatal(err)
+				}
+				u, err := NewUniverseFromArrangement(a, sub)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for k < len(order) {
+					batch := 1 + rng.Intn(3)
+					if k+batch > len(order) {
+						batch = len(order) - k
+					}
+					added := order[k : k+batch]
+					k += batch
+					sub = restrict(in, order[:k])
+					next, err := arrange.Insert(ctx, a, sub, added...)
+					if err != nil {
+						t.Fatalf("insert %v: %v", added, err)
+					}
+					inc, err := InsertUniverse(ctx, u, next, sub)
+					if err != nil {
+						t.Fatalf("InsertUniverse %v: %v", added, err)
+					}
+					cold, err := NewUniverseFromArrangement(next, sub)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got, want := inc.Fingerprint(), cold.Fingerprint(); got != want {
+						t.Fatalf("trial %d: universe fingerprint diverged after inserting %v (%d regions)",
+							trial, added, k)
+					}
+					a, u = next, inc
+				}
+			}
+		})
+	}
+}
+
+// InsertUniverse must refuse arrangements that carry no provenance or that
+// derive from a different generation than the given parent universe.
+func TestInsertUniverseRejectsForeignParents(t *testing.T) {
+	ctx := context.Background()
+	in := workload.OverlapChain(5)
+	names := in.Names()
+	sub := restrict(in, names[:3])
+	a, err := arrange.Build(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u, err := NewUniverseFromArrangement(a, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cold builds export no provenance.
+	coldNext, err := arrange.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InsertUniverse(ctx, u, coldNext, in); err == nil {
+		t.Fatal("cold-built arrangement (no provenance) must be rejected")
+	}
+	// Provenance from a different parent generation.
+	other, err := arrange.Build(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uOther, err := NewUniverseFromArrangement(other, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := arrange.Insert(ctx, a, in, names[3:]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InsertUniverse(ctx, uOther, next, in); err == nil {
+		t.Fatal("provenance pointing at a different parent must be rejected")
+	}
+}
+
+// Fingerprint must be insensitive to construction path but sensitive to
+// content: distinct region sets fingerprint differently.
+func TestUniverseFingerprintDistinguishes(t *testing.T) {
+	in := workload.RectGrid(3)
+	names := in.Names()
+	fps := make(map[string]string)
+	for k := 1; k <= len(names); k++ {
+		u, err := NewUniverse(restrict(in, names[:k]), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp := u.Fingerprint()
+		if prev, dup := fps[fp]; dup {
+			t.Fatalf("prefix %d collides with %s", k, prev)
+		}
+		fps[fp] = fmt.Sprintf("prefix %d", k)
+	}
+}

@@ -16,6 +16,15 @@ import (
 // orientation must flip for all components together — this is exactly the
 // case analysis in the paper's proof of Theorem 3.4).
 
+// canonStart records a minimizing traversal start for one component under
+// one chirality: the T vertex index and the rotation position. Recorded
+// starts let FromArrangementDelta skip the start minimization for
+// components a delta provably left untouched.
+type canonStart struct {
+	vert, k int32
+	ok      bool
+}
+
 // Canonical returns the canonical encoding of the invariant. Two instances
 // over the same names are topologically equivalent iff their canonical
 // encodings are equal. Canonical is safe for concurrent use: the lazily
@@ -56,6 +65,9 @@ func (t *T) encodeInstance(mirror bool) string {
 	}
 	if t.canon[idx] != "" {
 		return t.canon[idx]
+	}
+	if t.bestStart[idx] == nil {
+		t.bestStart[idx] = make([]canonStart, len(t.Comps))
 	}
 	// Encode components bottom-up by depth.
 	order := make([]int, len(t.Comps))
@@ -110,15 +122,31 @@ func (t *T) encodeComp(ci int, mirror bool, compEnc []string) string {
 		return "O(" + e.Label.Key() + ";" + faceEnc(inner) + ")"
 	}
 
+	idx := 0
+	if mirror {
+		idx = 1
+	}
+	// A start transported from the parent generation (FromArrangementDelta)
+	// is already minimal for an untouched component: its encoding is the
+	// parent's with every label key widened by the component's uniform
+	// added-region suffix, which preserves every comparison the parent's
+	// minimization made. One traversal instead of one per edge-end.
+	if s := t.seeds[idx]; s != nil && s[ci].ok {
+		t.bestStart[idx][ci] = s[ci]
+		return t.encodeFrom(ci, int(s[ci].vert), int(s[ci].k), mirror, faceEnc)
+	}
 	best := ""
+	var bs canonStart
 	for _, vi := range c.Verts {
 		for k := range t.Verts[vi].Rot {
 			enc := t.encodeFrom(ci, vi, k, mirror, faceEnc)
 			if best == "" || enc < best {
 				best = enc
+				bs = canonStart{vert: int32(vi), k: int32(k), ok: true}
 			}
 		}
 	}
+	t.bestStart[idx][ci] = bs
 	return best
 }
 

@@ -1,0 +1,190 @@
+package invariant
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"topodb/internal/arrange"
+	"topodb/internal/region"
+	"topodb/internal/spatial"
+	"topodb/internal/workload"
+)
+
+func restrict(in *spatial.Instance, names []string) *spatial.Instance {
+	out := spatial.New()
+	for _, n := range names {
+		out.MustAdd(n, in.MustExt(n))
+	}
+	return out
+}
+
+func deltaCases() map[string]*spatial.Instance {
+	return map[string]*spatial.Instance{
+		"rect_grid":      workload.RectGrid(3),
+		"overlap_chain":  workload.OverlapChain(10),
+		"nested_rings":   workload.NestedRings(7),
+		"county_mesh":    workload.CountyMesh(3),
+		"lens_stack":     workload.LensStack(8),
+		"circle_pair":    workload.CirclePair(12),
+		"sparse_scatter": workload.SparseScatter(40),
+		"city_blocks":    workload.CityBlocks(4),
+	}
+}
+
+// Property: the invariant derived via FromArrangementDelta — over a chain
+// of incremental arrangements whose every parent invariant is itself a
+// delta product — has, at every generation, a canonical encoding
+// byte-identical to the cold invariant of the same arrangement. Trials
+// alternate whether the parent was canonicalized before the delta (seeded
+// starts transported) or after (no recorded starts to transport); both
+// must agree with cold.
+func TestFromArrangementDeltaMatchesCold(t *testing.T) {
+	ctx := context.Background()
+	for name, in := range deltaCases() {
+		t.Run(name, func(t *testing.T) {
+			names := in.Names()
+			for trial := 0; trial < 2; trial++ {
+				rng := rand.New(rand.NewSource(int64(len(name)*10 + trial)))
+				order := append([]string(nil), names...)
+				if trial == 1 {
+					for i, j := 0, len(order)-1; i < j; i, j = i+1, j-1 {
+						order[i], order[j] = order[j], order[i]
+					}
+				}
+				k := 1 + rng.Intn(2)
+				a, err := arrange.Build(restrict(in, order[:k]))
+				if err != nil {
+					t.Fatal(err)
+				}
+				parent, err := FromArrangement(a)
+				if err != nil {
+					t.Fatal(err)
+				}
+				for k < len(order) {
+					batch := 1 + rng.Intn(3)
+					if k+batch > len(order) {
+						batch = len(order) - k
+					}
+					added := order[k : k+batch]
+					k += batch
+					sub := restrict(in, order[:k])
+					next, err := arrange.Insert(ctx, a, sub, added...)
+					if err != nil {
+						t.Fatalf("insert %v: %v", added, err)
+					}
+					if k%2 == 0 {
+						// Canonicalize the parent first so the delta has
+						// recorded starts to transport.
+						parent.Canonical()
+					}
+					inc, err := FromArrangementDelta(ctx, next, parent)
+					if err != nil {
+						t.Fatalf("FromArrangementDelta %v: %v", added, err)
+					}
+					cold, err := FromArrangement(next)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got, want := inc.Canonical(), cold.Canonical(); got != want {
+						t.Fatalf("trial %d: canonical encoding diverged after inserting %v (%d regions)\n inc: %.200s\ncold: %.200s",
+							trial, added, k, got, want)
+					}
+					a, parent = next, inc
+				}
+			}
+		})
+	}
+}
+
+// A far-away disjoint insertion under the identity remap must actually
+// transport the parent's minimizing starts (the perf contract behind the
+// incremental invariant path), and still agree with cold byte-for-byte.
+func TestDeltaTransportsSeeds(t *testing.T) {
+	ctx := context.Background()
+	in := spatial.New().
+		MustAdd("A", region.MustRect(0, 0, 10, 10)).
+		MustAdd("B", region.MustRect(5, 5, 15, 15)).
+		MustAdd("Z", region.MustRect(100, 100, 110, 110))
+	parentIn := restrict(in, []string{"A", "B"})
+	a, err := arrange.Build(parentIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, err := FromArrangement(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent.Canonical() // record minimizing starts
+	next, err := arrange.Insert(ctx, a, in, "Z")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := next.Prov(); p == nil || !p.Identity {
+		t.Fatal("appending a name that sorts last should yield identity-remap provenance")
+	}
+	inc, err := FromArrangementDelta(ctx, next, parent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded := false
+	for idx := 0; idx < 2; idx++ {
+		for _, s := range inc.seeds[idx] {
+			if s.ok {
+				seeded = true
+			}
+		}
+	}
+	if !seeded {
+		t.Fatal("no canonical start was transported for the untouched component")
+	}
+	cold, err := FromArrangement(next)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.Canonical() != cold.Canonical() {
+		t.Fatal("seeded canonical encoding diverged from cold")
+	}
+}
+
+// FromArrangementDelta must refuse arrangements without provenance and
+// parents from a different generation.
+func TestDeltaRejectsForeignParents(t *testing.T) {
+	ctx := context.Background()
+	in := workload.OverlapChain(5)
+	names := in.Names()
+	sub := restrict(in, names[:3])
+	a, err := arrange.Build(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parent, err := FromArrangement(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := arrange.Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromArrangementDelta(ctx, cold, parent); err == nil {
+		t.Fatal("cold-built arrangement (no provenance) must be rejected")
+	}
+	other, err := arrange.Build(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign, err := FromArrangement(other)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := arrange.Insert(ctx, a, in, names[3:]...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromArrangementDelta(ctx, next, foreign); err == nil {
+		t.Fatal("parent invariant from a different generation must be rejected")
+	}
+	if _, err := FromArrangementDelta(ctx, next, nil); err == nil {
+		t.Fatal("nil parent must be rejected")
+	}
+}

@@ -96,8 +96,20 @@ type T struct {
 	// source arrangement; handles from different pools are not comparable).
 	Pool *arrange.OwnerPool
 
-	canonMu sync.Mutex // guards canon (T values are shared by caches)
-	canon   [2]string  // cached canonical encodings per chirality
+	// src is the arrangement this invariant was derived from, and aVert
+	// maps every invariant vertex back to its arrangement vertex. Both are
+	// immutable after construction; FromArrangementDelta uses them to
+	// transport canonical traversal starts across generations.
+	src   *arrange.Arrangement
+	aVert []int32
+
+	canonMu   sync.Mutex      // guards canon and bestStart (T values are shared by caches)
+	canon     [2]string       // cached canonical encodings per chirality
+	bestStart [2][]canonStart // minimizing start per comp, recorded when encoded
+	// seeds holds traversal starts transported from the parent generation
+	// by FromArrangementDelta. It is written only before the T is
+	// published and read under canonMu thereafter.
+	seeds [2][]canonStart
 }
 
 // Stats returns the cell counts (vertices, edges, faces) of the maximal
@@ -115,13 +127,30 @@ func New(in *spatial.Instance) (*T, error) {
 
 // FromArrangement derives the invariant from an existing arrangement.
 func FromArrangement(a *arrange.Arrangement) (*T, error) {
-	t := &T{Names: a.Names, Exterior: -1, Pool: a.Pool}
+	return FromArrangementCtx(context.Background(), a)
+}
+
+// canceledDerive wraps a fired context's error so callers see both the
+// invariant origin and (via errors.Is) the underlying context cause.
+func canceledDerive(ctx context.Context) error {
+	return fmt.Errorf("invariant: derivation canceled: %w", ctx.Err())
+}
+
+// FromArrangementCtx is FromArrangement honoring ctx: the derivation's
+// loops over the arrangement's vertices, chains and faces poll the context
+// and abandon the construction with the context's error once it fires, so
+// a canceled snapshot query stops burning CPU mid-derivation.
+func FromArrangementCtx(ctx context.Context, a *arrange.Arrangement) (*T, error) {
+	t := &T{Names: a.Names, Exterior: -1, Pool: a.Pool, src: a}
 
 	// 1. Decide which arrangement vertices survive: degree != 2, or the
 	// two incident edges differ in ownership. Owners handles are interned
 	// in a.Pool, so == on handles is exactly set equality.
 	keep := make([]int, len(a.Verts)) // new index or -1
 	for vi := range a.Verts {
+		if vi&1023 == 0 && ctx.Err() != nil {
+			return nil, canceledDerive(ctx)
+		}
 		keep[vi] = -1
 		out := a.Verts[vi].Out
 		if len(out) == 2 {
@@ -132,6 +161,7 @@ func FromArrangement(a *arrange.Arrangement) (*T, error) {
 			}
 		}
 		keep[vi] = len(t.Verts)
+		t.aVert = append(t.aVert, int32(vi))
 		t.Verts = append(t.Verts, Vert{
 			Label: a.Verts[vi].Label,
 			Comp:  a.Verts[vi].Comp,
@@ -161,6 +191,9 @@ func FromArrangement(a *arrange.Arrangement) (*T, error) {
 	}
 
 	for vi := range a.Verts {
+		if vi&1023 == 0 && ctx.Err() != nil {
+			return nil, canceledDerive(ctx)
+		}
 		if keep[vi] == -1 {
 			continue
 		}
@@ -238,6 +271,9 @@ func FromArrangement(a *arrange.Arrangement) (*T, error) {
 	// edge incidence and nesting children.
 	t.Exterior = a.Exterior
 	for fi := range a.Faces {
+		if fi&255 == 0 && ctx.Err() != nil {
+			return nil, canceledDerive(ctx)
+		}
 		af := &a.Faces[fi]
 		f := Face{Label: af.Label, Bounded: af.Bounded, Comp: af.Comp}
 		seen := make(map[int]bool)
@@ -365,5 +401,5 @@ func FromSharded(ctx context.Context, sh *arrange.Sharded) (*T, error) {
 	if err != nil {
 		return nil, err
 	}
-	return FromArrangement(a)
+	return FromArrangementCtx(ctx, a)
 }

@@ -57,7 +57,7 @@ func SInvariantCtx(ctx context.Context, in *spatial.Instance) (*T, error) {
 	if err != nil {
 		return nil, err
 	}
-	return FromArrangement(a)
+	return FromArrangementCtx(ctx, a)
 }
 
 func dedupRats(vs []rat.R) []rat.R {

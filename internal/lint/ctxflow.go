@@ -25,6 +25,22 @@ var CtxFlow = &Analyzer{
 	Run: runCtxFlow,
 }
 
+// knownSiblings registers context-less → cancellable sibling pairs the
+// suffix convention alone would miss or that are load-bearing enough to
+// pin explicitly: keys are package-level functions as "import/path.Func",
+// values the sibling's name in the same package. A registered pair is
+// flagged even if the sibling's name does not end in Ctx; the sibling
+// must still be visible and accept a context, like convention-derived
+// ones.
+var knownSiblings = map[string]string{
+	// The invariant derivation pair behind the incremental pipeline: the
+	// caches must poll cancellation through FromArrangementCtx, never the
+	// background-context wrapper.
+	"topodb/internal/invariant.FromArrangement": "FromArrangementCtx",
+	// Fixture pair exercising the table (non-convention sibling name).
+	"ctxf.Derive": "DeriveWithContext",
+}
+
 func runCtxFlow(pass *Pass) error {
 	info := pass.TypesInfo
 	for _, f := range pass.Files {
@@ -76,12 +92,22 @@ func checkCtxCall(pass *Pass, call *ast.CallExpr) {
 		return
 	}
 	fn, ok := info.Uses[calleeIdent].(*types.Func)
-	if !ok || strings.HasSuffix(fn.Name(), "Ctx") || fn.Pkg() == nil {
+	if !ok || fn.Pkg() == nil {
 		return
 	}
-	sibling := fn.Name() + "Ctx"
+	recv := fn.Type().(*types.Signature).Recv()
+	sibling, known := "", false
+	if recv == nil {
+		sibling, known = knownSiblings[fn.Pkg().Path()+"."+fn.Name()]
+	}
+	if !known {
+		if strings.HasSuffix(fn.Name(), "Ctx") {
+			return
+		}
+		sibling = fn.Name() + "Ctx"
+	}
 	var sib types.Object
-	if recv := fn.Type().(*types.Signature).Recv(); recv != nil {
+	if recv != nil {
 		obj, _, _ := types.LookupFieldOrMethod(recv.Type(), true, fn.Pkg(), sibling)
 		sib = obj
 	} else {

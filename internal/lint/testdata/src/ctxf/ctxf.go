@@ -64,3 +64,34 @@ func SoloRight(ctx context.Context) int {
 	_ = ctx.Err()
 	return Solo()
 }
+
+// Derive is the context-less variant of a registered sibling pair: its
+// cancellable sibling's name does not follow the ...Ctx convention, so
+// only the knownSiblings table links them.
+func Derive() int { return 3 }
+
+// DeriveWithContext is Derive's registered cancellable sibling.
+func DeriveWithContext(ctx context.Context) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return 3
+}
+
+// RegisteredDropWrong holds a context but calls the table-registered
+// context-less variant.
+func RegisteredDropWrong(ctx context.Context) int {
+	return Derive() // want "Derive drops the in-scope context; call DeriveWithContext"
+}
+
+// RegisteredThreadRight threads the context through the registered
+// sibling.
+func RegisteredThreadRight(ctx context.Context) int {
+	return DeriveWithContext(ctx)
+}
+
+// RegisteredNoCtxRight has no context in scope; the plain variant is
+// fine.
+func RegisteredNoCtxRight() int {
+	return Derive()
+}

@@ -96,6 +96,15 @@ type shardTracker struct {
 	oneCur, multiCur   uint64 // current generation's artifact counters
 }
 
+// DerivationRow is one (kind, mode) artifact-derivation tally, polled
+// from the engine at scrape time. Kind is the derived artifact
+// (arrangement, universe, invariant, sinvariant); Mode is how it was
+// produced (cold, incremental, aliased).
+type DerivationRow struct {
+	Kind, Mode string
+	N          uint64
+}
+
 // routeMetrics aggregates one route's counters.
 type routeMetrics struct {
 	requests     uint64
@@ -118,6 +127,7 @@ type Metrics struct {
 	batchSizes   *histogram
 	shardsByDB   map[string]*shardTracker
 	shardBuild   *histogram
+	derivations  []DerivationRow
 }
 
 // NewMetrics returns an empty registry.
@@ -194,6 +204,16 @@ func (m *Metrics) ShardStats(db string, gen uint64, shards int, buildNanos []int
 	t.oneCur, t.multiCur = one, multi
 }
 
+// SetDerivations replaces the artifact-derivation rows with the engine's
+// current cumulative tallies, preserving the given order. The counters
+// are process-global and already monotone, so the registry stores the
+// absolute values polled at scrape time rather than accumulating deltas.
+func (m *Metrics) SetDerivations(rows []DerivationRow) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.derivations = append(m.derivations[:0], rows...)
+}
+
 // BatchFlush records one batch-window flush of n folded queries.
 func (m *Metrics) BatchFlush(n int) {
 	m.mu.Lock()
@@ -223,6 +243,7 @@ type Snapshot struct {
 	ShardBuild   HistogramSnapshot // per-shard build latency
 	RoutingOne   uint64            // located queries answered from one shard
 	RoutingMulti uint64            // located queries that consulted several
+	Derivations  []DerivationRow   // artifact-derivation tallies, engine order
 }
 
 // CoalesceHits sums coalesce hits across routes.
@@ -268,6 +289,7 @@ func (m *Metrics) Snapshot() Snapshot {
 		BatchSizes:   snapHistogram(m.batchSizes),
 		ShardsByDB:   make(map[string]uint64, len(m.shardsByDB)),
 		ShardBuild:   snapHistogram(m.shardBuild),
+		Derivations:  append([]DerivationRow(nil), m.derivations...),
 	}
 	for db, t := range m.shardsByDB {
 		s.ShardsByDB[db] = t.shards
@@ -372,6 +394,18 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		if err := p("# TYPE topodbd_shard_routing_total counter\ntopodbd_shard_routing_total{fanout=\"one\"} %d\ntopodbd_shard_routing_total{fanout=\"multi\"} %d\n",
 			s.RoutingOne, s.RoutingMulti); err != nil {
 			return total, err
+		}
+	}
+	if len(s.Derivations) > 0 {
+		if err := p("# TYPE topodbd_artifact_derivations_total counter\n"); err != nil {
+			return total, err
+		}
+		// Rendered in the engine's fixed (kind, mode) order — every row is
+		// always present, zero-valued or not, so scrapes are deterministic.
+		for _, d := range s.Derivations {
+			if err := p("topodbd_artifact_derivations_total{kind=%q,mode=%q} %d\n", d.Kind, d.Mode, d.N); err != nil {
+				return total, err
+			}
 		}
 	}
 	return total, nil

@@ -119,6 +119,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		s.pollShardStats()
+		s.pollDerivations()
 		s.metrics.WriteTo(w)
 	})
 	return s
@@ -137,6 +138,19 @@ func (s *Server) pollShardStats() {
 			s.metrics.ShardStats(name, db.Gen(), stats.Shards, stats.BuildNanos, stats.OneShard, stats.MultiShard)
 		}
 	}
+}
+
+// pollDerivations copies the engine's process-global artifact-derivation
+// tallies into the registry. Called at scrape time like pollShardStats:
+// the counters are lock-free atomics, so reading them costs nothing on
+// the serving hot path.
+func (s *Server) pollDerivations() {
+	engine := topodb.ArtifactDerivationCounts()
+	rows := make([]DerivationRow, len(engine))
+	for i, d := range engine {
+		rows[i] = DerivationRow{Kind: d.Kind, Mode: d.Mode, N: d.N}
+	}
+	s.metrics.SetDerivations(rows)
 }
 
 // Register adds (or replaces) a named instance.
