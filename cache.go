@@ -120,6 +120,22 @@ func (c *genCache) releaseProv() {
 			}
 		}
 	}
+	// Refined (k > 0) universes embed their own scaffolded arrangement;
+	// clearing its provenance here keeps a chain of Applies from retaining
+	// one refined arrangement per generation.
+	c.mu.Lock()
+	var refined []artifactKey
+	for key := range c.entries {
+		if key.kind == universeKind && key.k > 0 {
+			refined = append(refined, key)
+		}
+	}
+	c.mu.Unlock()
+	for _, key := range refined {
+		if v, ok := c.completed(key); ok {
+			v.(*folang.Universe).A.ClearProv()
+		}
+	}
 }
 
 // completed returns an artifact's value only if its build already finished
@@ -309,16 +325,18 @@ func init() {
 func SetIncrementalMax(n int) int { return int(incrementalMax.Swap(int64(n))) }
 
 // derivedIncrementalMax independently bounds the delta size for which the
-// artifacts derived from the arrangement — the query universe and the
-// invariant — are maintained incrementally from the parent generation's.
+// artifacts derived from the arrangement — the query universes (unrefined
+// and refined) and the invariant — are maintained incrementally from the
+// parent generation's.
 var derivedIncrementalMax atomic.Int64
 
 // SetDerivedIncrementalMax sets the largest number of added regions for
-// which a new generation derives its query universe and invariant
-// incrementally from the previous generation's (via the arrangement's
-// delta provenance) instead of recomputing them cold, returning the
-// previous setting. 0 disables incremental derivation of these artifacts
-// while leaving arrangement maintenance (SetIncrementalMax) untouched.
+// which a new generation derives its query universes (unrefined and
+// refined) and invariant incrementally from the previous generation's
+// (via the arrangement's delta provenance) instead of recomputing them
+// cold, returning the previous setting. 0 disables incremental derivation
+// of these artifacts while leaving arrangement maintenance
+// (SetIncrementalMax) untouched.
 // The default is 64. Both paths produce byte-identical artifacts; the knob
 // exists for benchmarks, equivalence tests, and as an escape hatch.
 func SetDerivedIncrementalMax(n int) int { return int(derivedIncrementalMax.Swap(int64(n))) }
@@ -527,9 +545,11 @@ func (s *Snapshot) arrangement(ctx context.Context) (*arrange.Arrangement, error
 // unrefined universe is derived from the shared arrangement — incrementally
 // from the parent generation's universe when the arrangement itself was
 // derived incrementally (its delta provenance carries the extents forward;
-// see folang.InsertUniverse) — and refined ones need their own scaffolded
-// arrangement. Incremental failures other than cancellation fall back to
-// the cold build, mirroring buildArrangement's discipline.
+// see folang.InsertUniverse) — and refined ones carry their own scaffolded
+// arrangement, derived incrementally from the parent's universe at the
+// same k while the scaffold grid stays anchored. Incremental failures
+// other than cancellation fall back to the cold build, mirroring
+// buildArrangement's discipline.
 func (s *Snapshot) universe(ctx context.Context, k int) (*folang.Universe, error) {
 	v, err := s.c.get(ctx, artifactKey{kind: universeKind, k: k}, func() (any, error) {
 		if k == 0 {
@@ -553,7 +573,26 @@ func (s *Snapshot) universe(ctx context.Context, k int) (*folang.Universe, error
 			derivCounters[derivUniverseCold].Add(1)
 			return folang.NewUniverseFromArrangementCtx(ctx, a, s.c.in)
 		}
-		derivCounters[derivUniverseCold].Add(1)
+		// Refined (k > 0) universes derive from the parent generation's
+		// universe at the same k: the scaffold grid is fixed geometry while
+		// the instance bounding box is unchanged, so the delta path re-cuts
+		// only the added regions' cells (folang.InsertUniverseRefined). A
+		// bbox-growing delta fails with arrange.ErrScaffoldMoved and lands
+		// on the cold fallback like any other non-cancellation error.
+		if parent, added := s.c.parentLink(); parent != nil &&
+			int64(len(added)) <= derivedIncrementalMax.Load() {
+			if v, ok := parent.completed(artifactKey{kind: universeKind, k: k}); ok {
+				u, err := folang.InsertUniverseRefined(ctx, v.(*folang.Universe), s.c.in, k, added...)
+				if err == nil {
+					derivCounters[derivUniverseRefinedIncremental].Add(1)
+					return u, nil
+				}
+				if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+					return nil, err
+				}
+			}
+		}
+		derivCounters[derivUniverseRefinedCold].Add(1)
 		return folang.NewUniverseCtx(ctx, s.c.in, k)
 	})
 	if err != nil {

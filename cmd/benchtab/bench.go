@@ -24,7 +24,7 @@ import (
 
 // benchRow is one measurement of the performance baseline.
 type benchRow struct {
-	Name        string  `json:"name"`     // cold_build | all_pairs | cached_query | incremental_add | incremental_universe | incremental_invariant | point_location | prepared_query | large_build | large_incremental_add | sharded_*
+	Name        string  `json:"name"`     // cold_build | all_pairs | cached_query | incremental_add | incremental_universe | incremental_invariant | incremental_refined_universe | point_location | prepared_query | large_build | large_incremental_add | sharded_*
 	Workload    string  `json:"workload"` // generator name
 	Size        int     `json:"size"`     // region count
 	Mode        string  `json:"mode"`     // sweep|naive, pruned|unpruned, warm|cold, incremental|cold, indexed|scan
@@ -88,17 +88,28 @@ func allPairs(a *arrange.Arrangement, prune bool) testing.BenchmarkResult {
 // single-iteration result. The metro-scale builds take whole seconds per
 // iteration, so testing.Benchmark would report one unrepeated sample;
 // on a shared runner steal time only ever inflates a sample, making the
-// minimum the robust estimator of the true cost.
+// minimum the robust estimator of the true cost. Allocation counters are
+// recorded around every run (the fastest run's deltas are reported, like
+// b.ReportAllocs), so build-style rows carry real bytes_per_op /
+// allocs_per_op in committed baselines instead of zeros; the ReadMemStats
+// bracket costs microseconds against millisecond-scale operations.
 func minTimed(k int, fn func()) testing.BenchmarkResult {
 	best := time.Duration(1<<63 - 1)
+	var bestAllocs, bestBytes uint64
+	var before, after runtime.MemStats
 	for i := 0; i < k; i++ {
+		runtime.ReadMemStats(&before)
 		t0 := time.Now()
 		fn()
-		if el := time.Since(t0); el < best {
+		el := time.Since(t0)
+		runtime.ReadMemStats(&after)
+		if el < best {
 			best = el
+			bestAllocs = after.Mallocs - before.Mallocs
+			bestBytes = after.TotalAlloc - before.TotalAlloc
 		}
 	}
-	return testing.BenchmarkResult{N: 1, T: best}
+	return testing.BenchmarkResult{N: 1, T: best, MemAllocs: bestAllocs, MemBytes: bestBytes}
 }
 
 // collectBench runs the performance baseline and returns the
@@ -189,6 +200,7 @@ func collectBench() benchDoc {
 	// maintenance disabled. Runs second, right after the sharded family,
 	// for the same GC-pacing reason.
 	rows = append(rows, incrementalArtifactRows()...)
+	rows = append(rows, refinedUniverseRows()...)
 
 	// Cold arrangement construction, sweep vs all-pairs reference.
 	type buildCase struct {
@@ -453,6 +465,75 @@ func incrementalArtifactRows() []benchRow {
 	return rows
 }
 
+// refinedUniverseRows measures the warm Apply→EvalRefined path against the
+// knobs-off cold rebuild: the refined (k > 0) universe was the last
+// artifact to recompute its scaffolded arrangement cold per generation.
+// The added regions sit strictly inside the instance bounding box (the
+// metro grid's region-free belt strips, the scatter's interior), so the
+// scaffold grid stays anchored and the warm path stays eligible for
+// folang.InsertUniverseRefined — an out-of-box add would grow the box,
+// move the scaffold, and silently measure the cold fallback twice.
+func refinedUniverseRows() []benchRow {
+	const refineK = 2
+	var rows []benchRow
+	oldBudget := arrange.SetRegionBudget(200000)
+	defer arrange.SetRegionBudget(oldBudget)
+	fams := []struct {
+		wl                   string
+		size                 int
+		in                   *spatial.Instance
+		warmIters, coldIters int
+		rect                 func(serial int) [4]int64
+	}{
+		// Metro districts occupy x mod 11 ∈ [0, 8); the belt strips
+		// x mod 11 ∈ [8, 11) are region-free at every y, so belt adds stay
+		// inside the box without touching any district.
+		{"metro_grid", 10000, workload.MetroGrid(10000, 2, 0), 3, 1,
+			func(s int) [4]int64 { return [4]int64{9, int64(2 + 3*s), 10, int64(4 + 3*s)} }},
+		// The scatter's box is [3,2]..[343,341]; the adds walk its
+		// interior (overlapping a scatter rect is fine — only box growth
+		// would break incrementality).
+		{"sparse_scatter", 200, workload.SparseScatter(200), 8, 3,
+			func(s int) [4]int64 { return [4]int64{int64(150 + 12*s), 150, int64(155 + 12*s), 158} }},
+	}
+	for _, f := range fams {
+		pqSrc := "some cell r: subset(r, " + f.in.Names()[0] + ")"
+		for _, mode := range []string{"incremental", "cold"} {
+			db := topodb.Wrap(f.in.Clone())
+			pq, err := db.Prepare(pqSrc)
+			check(err)
+			iters := f.warmIters
+			restore := func() {}
+			if mode == "cold" {
+				iters = f.coldIters
+				oldInc := topodb.SetIncrementalMax(0)
+				oldDer := topodb.SetDerivedIncrementalMax(0)
+				restore = func() {
+					topodb.SetIncrementalMax(oldInc)
+					topodb.SetDerivedIncrementalMax(oldDer)
+				}
+			}
+			serial := 0
+			op := func() {
+				r := f.rect(serial)
+				name := fmt.Sprintf("Zr%06d", serial)
+				serial++
+				check(db.Apply(func(tx *topodb.Txn) error {
+					return tx.AddRect(name, r[0], r[1], r[2], r[3])
+				}))
+				ok, err := pq.EvalRefined(context.Background(), refineK)
+				if err != nil || !ok {
+					check(fmt.Errorf("refined eval failed: %v %v", ok, err))
+				}
+			}
+			op() // materialize the base generation's refined universe
+			rows = append(rows, row("incremental_refined_universe", f.wl, f.size, mode, minTimed(iters, op)))
+			restore()
+		}
+	}
+	return rows
+}
+
 // bench runs the performance baseline and prints it as a text table, or as
 // the BENCH_prN.json document with -json.
 func bench() {
@@ -490,8 +571,9 @@ var speedupPairs = map[string][2]string{
 	"sharded_incremental_add": {"incremental", "cold"},
 	"sharded_locate":          {"sharded", "monolithic"},
 
-	"incremental_universe":  {"incremental", "cold"},
-	"incremental_invariant": {"incremental", "cold"},
+	"incremental_universe":         {"incremental", "cold"},
+	"incremental_invariant":        {"incremental", "cold"},
+	"incremental_refined_universe": {"incremental", "cold"},
 }
 
 // newestBaseline returns the committed BENCH_prN.json with the highest N
@@ -592,14 +674,16 @@ func compareBench(baselinePath string) {
 			// the monolithic sweep at n=10k on any machine.
 			floor = 5
 		}
-		if (r.Name == "incremental_universe" || r.Name == "incremental_invariant") &&
+		if (r.Name == "incremental_universe" || r.Name == "incremental_invariant" ||
+			r.Name == "incremental_refined_universe") &&
 			r.Workload == "metro_grid" && floor < 5 {
 			// The acceptance bar for the incremental mutation→query
 			// pipeline: a warm single-region Apply followed by the first
 			// derived-artifact read at metro scale must stay at least 5x
 			// ahead of cold recomputation on any machine — the cold side's
-			// costs (universe label scans, canonical start minimization)
-			// are superlinear, so the ratio only grows with n.
+			// costs (universe label scans, canonical start minimization,
+			// and for refined universes the full scaffolded rebuild) are
+			// superlinear, so the ratio only grows with n.
 			floor = 5
 		}
 		if r.Name == "sharded_incremental_add" && floor < 10 {

@@ -157,6 +157,7 @@ func TestArtifactDerivationCountRows(t *testing.T) {
 	want := []string{
 		"arrangement/cold", "arrangement/incremental", "arrangement/aliased",
 		"universe/cold", "universe/incremental",
+		"universe/cold/refined", "universe/incremental/refined",
 		"invariant/cold", "invariant/incremental",
 		"sinvariant/cold",
 	}
@@ -164,7 +165,11 @@ func TestArtifactDerivationCountRows(t *testing.T) {
 		t.Fatalf("got %d rows, want %d", len(rows), len(want))
 	}
 	for i, r := range rows {
-		if got := r.Kind + "/" + r.Mode; got != want[i] {
+		got := r.Kind + "/" + r.Mode
+		if r.Refined {
+			got += "/refined"
+		}
+		if got != want[i] {
 			t.Fatalf("row %d = %s, want %s", i, got, want[i])
 		}
 	}

@@ -68,6 +68,13 @@ func (l Label) String() string { return l.Key() }
 // aliases it for errors.Is.
 var ErrTooManyRegions = errors.New("too many regions")
 
+// ErrScaffoldMoved marks an incremental derivation whose scaffold differs
+// from the parent arrangement's: the scaffold lines moved (typically
+// because the delta grew the instance bounding box that anchors them), so
+// delta-local re-cutting is unsound and the caller must rebuild cold.
+// InsertWithScaffoldCtx wraps it for errors.Is.
+var ErrScaffoldMoved = errors.New("scaffold moved")
+
 // Vertex is a 0-cell of the arrangement.
 type Vertex struct {
 	P geom.Pt
@@ -167,6 +174,13 @@ type Arrangement struct {
 	faceBox  []geom.Box
 	bbox     geom.Box
 
+	// scaffold records the ownerless segments this arrangement was built
+	// over (BuildWithScaffoldCtx), in input order. Incremental derivation
+	// of a scaffolded arrangement is sound only while the scaffold is
+	// byte-identical between parent and child — InsertWithScaffoldCtx
+	// validates against this and plain Insert refuses scaffolded parents.
+	scaffold []geom.Seg
+
 	// loc is the lazily built point-location index (see locate.go).
 	loc struct {
 		once   sync.Once
@@ -242,6 +256,9 @@ func BuildWithScaffoldCtx(ctx context.Context, in *spatial.Instance, scaffold []
 			return nil, fmt.Errorf("arrange: degenerate scaffold segment at %s", s.A)
 		}
 		segs = append(segs, ownedSeg{s, NoOwners})
+	}
+	if len(scaffold) > 0 {
+		a.scaffold = append([]geom.Seg(nil), scaffold...)
 	}
 
 	// 2. Split at all mutual intersections and deduplicate.

@@ -43,6 +43,51 @@ import (
 // a pre-existing name missing from in, or region counts beyond the
 // configurable region budget (SetRegionBudget).
 func Insert(ctx context.Context, parent *Arrangement, in *spatial.Instance, added ...string) (*Arrangement, error) {
+	if parent != nil && len(parent.scaffold) > 0 {
+		return nil, fmt.Errorf("arrange: Insert: parent carries %d scaffold segments; use InsertWithScaffoldCtx", len(parent.scaffold))
+	}
+	return insertCore(ctx, parent, in, added)
+}
+
+// InsertWithScaffold is InsertWithScaffoldCtx with a background context.
+func InsertWithScaffold(parent *Arrangement, in *spatial.Instance, scaffold []geom.Seg, added ...string) (*Arrangement, error) {
+	return InsertWithScaffoldCtx(context.Background(), parent, in, scaffold, added...)
+}
+
+// InsertWithScaffoldCtx derives the scaffolded arrangement of in from a
+// parent built over the same scaffold (BuildWithScaffoldCtx or a previous
+// InsertWithScaffoldCtx). The scaffold segments are fixed geometry: they
+// are already ordinary ownerless edges of the parent complex, so the delta
+// sweep re-cuts only the cells the added regions' segments touch, exactly
+// like the unscaffolded Insert, and records Provenance the same way.
+//
+// scaffold must be the caller's freshly computed scaffold for in; it is
+// validated segment-for-segment against the scaffold the parent was built
+// over. A mismatch — for refinement grids (folang.GridScaffold) this means
+// the delta grew the instance bounding box that anchors every line — makes
+// delta-local re-cutting unsound, and the call fails with an error
+// wrapping ErrScaffoldMoved so the caller can rebuild cold.
+func InsertWithScaffoldCtx(ctx context.Context, parent *Arrangement, in *spatial.Instance, scaffold []geom.Seg, added ...string) (*Arrangement, error) {
+	if parent == nil {
+		return nil, fmt.Errorf("arrange: InsertWithScaffoldCtx needs a parent")
+	}
+	if len(scaffold) != len(parent.scaffold) {
+		return nil, fmt.Errorf("arrange: %w: %d scaffold segments vs %d on the parent",
+			ErrScaffoldMoved, len(scaffold), len(parent.scaffold))
+	}
+	for i, s := range scaffold {
+		p := parent.scaffold[i]
+		if !s.A.Equal(p.A) || !s.B.Equal(p.B) {
+			return nil, fmt.Errorf("arrange: %w: scaffold segment %d is %s-%s, parent has %s-%s",
+				ErrScaffoldMoved, i, s.A, s.B, p.A, p.B)
+		}
+	}
+	return insertCore(ctx, parent, in, added)
+}
+
+// insertCore is the shared body of Insert and InsertWithScaffoldCtx:
+// validate the pure-extension contract, then run the delta pipeline.
+func insertCore(ctx context.Context, parent *Arrangement, in *spatial.Instance, added []string) (*Arrangement, error) {
 	if parent == nil || len(added) == 0 {
 		return nil, fmt.Errorf("arrange: Insert needs a parent and at least one added region")
 	}
@@ -109,6 +154,9 @@ func (s *inserter) run(ctx context.Context, added []string) (*Arrangement, error
 
 	s.b = &Arrangement{Names: names, index: make(map[string]int, len(names))}
 	b := s.b
+	// The scaffold is fixed geometry across a derivation chain (validated
+	// by InsertWithScaffoldCtx), so the child records the parent's slice.
+	b.scaffold = parent.scaffold
 	for i, n := range names {
 		b.index[n] = i
 	}

@@ -51,7 +51,17 @@ type Universe struct {
 	edgeFaces [][]int
 	// vertCells[v] lists all edges and faces incident to vertex v.
 	vertCells [][]int
+
+	// refine is the k the universe's scaffold grid was generated at
+	// (NewUniverseCtx / InsertUniverseRefined); 0 for unrefined universes.
+	// InsertUniverseRefined requires parent.refine == refine, since the
+	// grid shape is part of the fixed geometry the delta path preserves.
+	refine int
 }
+
+// Refine returns the scaffold refinement level k the universe was built
+// at (0 for unrefined universes).
+func (u *Universe) Refine() int { return u.refine }
 
 // CellID helpers.
 func (u *Universe) faceCell(i int) int { return i }
@@ -109,7 +119,12 @@ func NewUniverseCtx(ctx context.Context, in *spatial.Instance, refine int) (*Uni
 	if err != nil {
 		return nil, err
 	}
-	return newUniverseFrom(ctx, a, in)
+	u, err := newUniverseFrom(ctx, a, in)
+	if err != nil {
+		return nil, err
+	}
+	u.refine = refine
+	return u, nil
 }
 
 // NewUniverseFromArrangement builds the evaluation context from an

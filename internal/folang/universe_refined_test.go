@@ -1,0 +1,169 @@
+package folang
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"topodb/internal/arrange"
+	"topodb/internal/region"
+	"topodb/internal/spatial"
+	"topodb/internal/workload"
+)
+
+// bboxPinningOrder reorders the instance's names so that a small prefix
+// (at most four names) attains the full instance bounding box: applying
+// that prefix first keeps GridScaffold anchored for the rest of the
+// chain, so every later batch is eligible for the incremental path.
+func bboxPinningOrder(in *spatial.Instance) ([]string, int) {
+	names := in.Names()
+	box, ok := in.Box()
+	if !ok {
+		return names, len(names)
+	}
+	pin := make(map[string]bool)
+	for _, side := range []int{0, 1, 2, 3} {
+		for _, n := range names {
+			b := in.MustExt(n).Box()
+			hit := false
+			switch side {
+			case 0:
+				hit = b.MinX.Cmp(box.MinX) == 0
+			case 1:
+				hit = b.MinY.Cmp(box.MinY) == 0
+			case 2:
+				hit = b.MaxX.Cmp(box.MaxX) == 0
+			case 3:
+				hit = b.MaxY.Cmp(box.MaxY) == 0
+			}
+			if hit {
+				pin[n] = true
+				break
+			}
+		}
+	}
+	ordered := make([]string, 0, len(names))
+	for _, n := range names {
+		if pin[n] {
+			ordered = append(ordered, n)
+		}
+	}
+	prefix := len(ordered)
+	for _, n := range names {
+		if !pin[n] {
+			ordered = append(ordered, n)
+		}
+	}
+	return ordered, prefix
+}
+
+// Property: deriving the refined universe incrementally — over a chain
+// where every parent is itself an InsertUniverseRefined product — yields
+// at every generation a universe byte-identical (by Fingerprint) to the
+// cold NewUniverse of the same region set at the same k.
+func TestInsertUniverseRefinedMatchesCold(t *testing.T) {
+	ctx := context.Background()
+	for name, in := range universeCases() {
+		t.Run(name, func(t *testing.T) {
+			order, prefix := bboxPinningOrder(in)
+			if prefix == len(order) {
+				t.Skipf("every region pins the bounding box; no chain to run")
+			}
+			for ki, k := range []int{1, 2, 4} {
+				rng := rand.New(rand.NewSource(int64(len(name)*10 + ki)))
+				n := prefix
+				u, err := NewUniverse(restrict(in, order[:n]), k)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if u.Refine() != k {
+					t.Fatalf("cold universe reports refine %d, want %d", u.Refine(), k)
+				}
+				for n < len(order) {
+					batch := 1 + rng.Intn(3)
+					if n+batch > len(order) {
+						batch = len(order) - n
+					}
+					added := order[n : n+batch]
+					n += batch
+					sub := restrict(in, order[:n])
+					inc, err := InsertUniverseRefined(ctx, u, sub, k, added...)
+					if err != nil {
+						t.Fatalf("k=%d: InsertUniverseRefined %v: %v", k, added, err)
+					}
+					cold, err := NewUniverse(sub, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got, want := inc.Fingerprint(), cold.Fingerprint(); got != want {
+						t.Fatalf("k=%d: refined universe fingerprint diverged after inserting %v (%d regions)",
+							k, added, n)
+					}
+					u = inc
+				}
+			}
+		})
+	}
+}
+
+// A delta that grows the instance bounding box moves every scaffold line;
+// InsertUniverseRefined must fail with arrange.ErrScaffoldMoved so the
+// cache falls back to the cold build.
+func TestInsertUniverseRefinedBoxGrowth(t *testing.T) {
+	ctx := context.Background()
+	in := workload.SparseScatter(12)
+	names := in.Names()
+	order, prefix := bboxPinningOrder(in)
+	if prefix == len(order) {
+		t.Fatal("every scatter region pins the box; pick a bigger instance")
+	}
+	sub := restrict(in, order[:len(order)-1])
+	u, err := NewUniverse(sub, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In-box delta first: the incremental path applies.
+	if _, err := InsertUniverseRefined(ctx, u, in, 2, order[len(order)-1]); err != nil {
+		t.Fatalf("in-box delta rejected: %v", err)
+	}
+	// Now a delta outside the box: scaffold moves, incremental unsound.
+	grown := spatial.New()
+	for _, n := range names {
+		grown.MustAdd(n, in.MustExt(n))
+	}
+	grown.MustAdd("far_out", region.MustRect(100000, 100000, 100010, 100010))
+	u2, err := NewUniverse(in, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InsertUniverseRefined(ctx, u2, grown, 2, "far_out"); !errors.Is(err, arrange.ErrScaffoldMoved) {
+		t.Fatalf("box-growing delta: got %v, want arrange.ErrScaffoldMoved", err)
+	}
+}
+
+// InsertUniverseRefined must reject mismatched refinement levels and
+// non-positive k.
+func TestInsertUniverseRefinedRejectsMismatchedK(t *testing.T) {
+	ctx := context.Background()
+	in := workload.RectGrid(3)
+	names := in.Names()
+	sub := restrict(in, names[:len(names)-1])
+	u, err := NewUniverse(sub, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InsertUniverseRefined(ctx, u, in, 3, names[len(names)-1]); err == nil {
+		t.Fatal("k=3 derivation from a k=2 parent must be rejected")
+	}
+	if _, err := InsertUniverseRefined(ctx, u, in, 0, names[len(names)-1]); err == nil {
+		t.Fatal("k=0 must be rejected (use InsertUniverse)")
+	}
+	u0, err := NewUniverse(sub, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := InsertUniverseRefined(ctx, u0, in, 2, names[len(names)-1]); err == nil {
+		t.Fatal("k=2 derivation from an unrefined parent must be rejected")
+	}
+}

@@ -95,3 +95,33 @@ func RegisteredThreadRight(ctx context.Context) int {
 func RegisteredNoCtxRight() int {
 	return Derive()
 }
+
+// BuildScaffolded is the context-less variant of a pair that both follows
+// the ...Ctx convention and is pinned in knownSiblings (mirroring
+// arrange.InsertWithScaffold): the explicit registration must not break
+// or duplicate the convention-derived link.
+func BuildScaffolded() int { return 4 }
+
+// BuildScaffoldedCtx is BuildScaffolded's cancellable sibling.
+func BuildScaffoldedCtx(ctx context.Context) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return 4
+}
+
+// PinnedDropWrong holds a context but calls the pinned context-less
+// variant.
+func PinnedDropWrong(ctx context.Context) int {
+	return BuildScaffolded() // want "BuildScaffolded drops the in-scope context; call BuildScaffoldedCtx"
+}
+
+// PinnedThreadRight threads the context through the pinned sibling.
+func PinnedThreadRight(ctx context.Context) int {
+	return BuildScaffoldedCtx(ctx)
+}
+
+// PinnedNoCtxRight has no context in scope; the plain variant is fine.
+func PinnedNoCtxRight() int {
+	return BuildScaffolded()
+}

@@ -96,12 +96,14 @@ type shardTracker struct {
 	oneCur, multiCur   uint64 // current generation's artifact counters
 }
 
-// DerivationRow is one (kind, mode) artifact-derivation tally, polled
-// from the engine at scrape time. Kind is the derived artifact
+// DerivationRow is one (kind, mode, refined) artifact-derivation tally,
+// polled from the engine at scrape time. Kind is the derived artifact
 // (arrangement, universe, invariant, sinvariant); Mode is how it was
-// produced (cold, incremental, aliased).
+// produced (cold, incremental, aliased); Refined distinguishes the k>0
+// (scaffolded) universe derivations from the unrefined slot.
 type DerivationRow struct {
 	Kind, Mode string
+	Refined    bool
 	N          uint64
 }
 
@@ -400,10 +402,16 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		if err := p("# TYPE topodbd_artifact_derivations_total counter\n"); err != nil {
 			return total, err
 		}
-		// Rendered in the engine's fixed (kind, mode) order — every row is
-		// always present, zero-valued or not, so scrapes are deterministic.
+		// Rendered in the engine's fixed (kind, mode, refined) order —
+		// every row is always present, zero-valued or not, so scrapes are
+		// deterministic. The refined label is carried on every row for a
+		// consistent label set; it is "true" only on k>0 universe rows.
 		for _, d := range s.Derivations {
-			if err := p("topodbd_artifact_derivations_total{kind=%q,mode=%q} %d\n", d.Kind, d.Mode, d.N); err != nil {
+			refined := "false"
+			if d.Refined {
+				refined = "true"
+			}
+			if err := p("topodbd_artifact_derivations_total{kind=%q,mode=%q,refined=%q} %d\n", d.Kind, d.Mode, refined, d.N); err != nil {
 				return total, err
 			}
 		}

@@ -22,6 +22,8 @@ func TestMetricsDerivationRendering(t *testing.T) {
 		{Kind: "arrangement", Mode: "aliased", N: 0},
 		{Kind: "universe", Mode: "cold", N: 1},
 		{Kind: "universe", Mode: "incremental", N: 8},
+		{Kind: "universe", Mode: "cold", Refined: true, N: 2},
+		{Kind: "universe", Mode: "incremental", Refined: true, N: 5},
 		{Kind: "invariant", Mode: "cold", N: 1},
 		{Kind: "invariant", Mode: "incremental", N: 8},
 		{Kind: "sinvariant", Mode: "cold", N: 2},
@@ -35,14 +37,16 @@ func TestMetricsDerivationRendering(t *testing.T) {
 	}
 	body := buf.String()
 	want := `# TYPE topodbd_artifact_derivations_total counter
-topodbd_artifact_derivations_total{kind="arrangement",mode="cold"} 3
-topodbd_artifact_derivations_total{kind="arrangement",mode="incremental"} 9
-topodbd_artifact_derivations_total{kind="arrangement",mode="aliased"} 0
-topodbd_artifact_derivations_total{kind="universe",mode="cold"} 1
-topodbd_artifact_derivations_total{kind="universe",mode="incremental"} 8
-topodbd_artifact_derivations_total{kind="invariant",mode="cold"} 1
-topodbd_artifact_derivations_total{kind="invariant",mode="incremental"} 8
-topodbd_artifact_derivations_total{kind="sinvariant",mode="cold"} 2
+topodbd_artifact_derivations_total{kind="arrangement",mode="cold",refined="false"} 3
+topodbd_artifact_derivations_total{kind="arrangement",mode="incremental",refined="false"} 9
+topodbd_artifact_derivations_total{kind="arrangement",mode="aliased",refined="false"} 0
+topodbd_artifact_derivations_total{kind="universe",mode="cold",refined="false"} 1
+topodbd_artifact_derivations_total{kind="universe",mode="incremental",refined="false"} 8
+topodbd_artifact_derivations_total{kind="universe",mode="cold",refined="true"} 2
+topodbd_artifact_derivations_total{kind="universe",mode="incremental",refined="true"} 5
+topodbd_artifact_derivations_total{kind="invariant",mode="cold",refined="false"} 1
+topodbd_artifact_derivations_total{kind="invariant",mode="incremental",refined="false"} 8
+topodbd_artifact_derivations_total{kind="sinvariant",mode="cold",refined="false"} 2
 `
 	if !strings.Contains(body, want) {
 		t.Errorf("/metrics rendering missing derivation block\nwant:\n%s\nbody:\n%s", want, body)
@@ -72,14 +76,16 @@ func TestMetricsDerivationScrape(t *testing.T) {
 	last := -1
 	for _, want := range []string{
 		"# TYPE topodbd_artifact_derivations_total counter",
-		`topodbd_artifact_derivations_total{kind="arrangement",mode="cold"}`,
-		`topodbd_artifact_derivations_total{kind="arrangement",mode="incremental"}`,
-		`topodbd_artifact_derivations_total{kind="arrangement",mode="aliased"}`,
-		`topodbd_artifact_derivations_total{kind="universe",mode="cold"}`,
-		`topodbd_artifact_derivations_total{kind="universe",mode="incremental"}`,
-		`topodbd_artifact_derivations_total{kind="invariant",mode="cold"}`,
-		`topodbd_artifact_derivations_total{kind="invariant",mode="incremental"}`,
-		`topodbd_artifact_derivations_total{kind="sinvariant",mode="cold"}`,
+		`topodbd_artifact_derivations_total{kind="arrangement",mode="cold",refined="false"}`,
+		`topodbd_artifact_derivations_total{kind="arrangement",mode="incremental",refined="false"}`,
+		`topodbd_artifact_derivations_total{kind="arrangement",mode="aliased",refined="false"}`,
+		`topodbd_artifact_derivations_total{kind="universe",mode="cold",refined="false"}`,
+		`topodbd_artifact_derivations_total{kind="universe",mode="incremental",refined="false"}`,
+		`topodbd_artifact_derivations_total{kind="universe",mode="cold",refined="true"}`,
+		`topodbd_artifact_derivations_total{kind="universe",mode="incremental",refined="true"}`,
+		`topodbd_artifact_derivations_total{kind="invariant",mode="cold",refined="false"}`,
+		`topodbd_artifact_derivations_total{kind="invariant",mode="incremental",refined="false"}`,
+		`topodbd_artifact_derivations_total{kind="sinvariant",mode="cold",refined="false"}`,
 	} {
 		i := strings.Index(body, want)
 		if i < 0 {

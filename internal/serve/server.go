@@ -148,7 +148,7 @@ func (s *Server) pollDerivations() {
 	engine := topodb.ArtifactDerivationCounts()
 	rows := make([]DerivationRow, len(engine))
 	for i, d := range engine {
-		rows[i] = DerivationRow{Kind: d.Kind, Mode: d.Mode, N: d.N}
+		rows[i] = DerivationRow{Kind: d.Kind, Mode: d.Mode, Refined: d.Refined, N: d.N}
 	}
 	s.metrics.SetDerivations(rows)
 }
